@@ -1,0 +1,404 @@
+package csrl_test
+
+// One benchmark per table and figure of the paper's evaluation (Section 5),
+// plus ablation benchmarks for the design choices called out in DESIGN.md.
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers land on modern hardware, so they will not match the
+// paper's 1 GHz Pentium III; the *relative* behaviour (cost growth in ε, k
+// and d) is what reproduces Tables 2–4.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/adhoc"
+	"github.com/performability/csrl/internal/core"
+	"github.com/performability/csrl/internal/discretise"
+	"github.com/performability/csrl/internal/erlang"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/lump"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/sericola"
+	"github.com/performability/csrl/internal/sim"
+	"github.com/performability/csrl/internal/sparse"
+	"github.com/performability/csrl/internal/srn"
+	"github.com/performability/csrl/internal/transient"
+)
+
+func q3Setup(b *testing.B) (*mrm.MRM, *mrm.StateSet, int) {
+	b.Helper()
+	red, err := adhoc.Q3Reduced()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return red.Model, red.Model.Label("goal"), red.Model.InitialState()
+}
+
+// BenchmarkTable2Sericola regenerates Table 2: the occupation-time
+// distribution algorithm across error bounds ε.
+func BenchmarkTable2Sericola(b *testing.B) {
+	m, goal, init := q3Setup(b)
+	for _, eps := range []float64{1e-2, 1e-4, 1e-8} {
+		b.Run(fmt.Sprintf("eps=%.0e", eps), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				res, err := sericola.ReachProbAll(m, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound,
+					sericola.Options{Epsilon: eps, Lambda: adhoc.PaperLambda})
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = res.Values[init]
+			}
+			b.ReportMetric(v, "probability")
+		})
+	}
+}
+
+// BenchmarkTable3Erlang regenerates Table 3: the pseudo-Erlang
+// approximation across phase counts k.
+func BenchmarkTable3Erlang(b *testing.B) {
+	m, goal, init := q3Setup(b)
+	for _, k := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				vals, err := erlang.ReachProbAll(m, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound,
+					erlang.Options{K: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = vals[init]
+			}
+			b.ReportMetric(v, "probability")
+		})
+	}
+}
+
+// BenchmarkTable4Discretise regenerates Table 4: the Tijms–Veldman
+// discretisation across step sizes d.
+func BenchmarkTable4Discretise(b *testing.B) {
+	m, goal, init := q3Setup(b)
+	for _, den := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("d=1over%d", den), func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				got, err := discretise.ReachProb(m, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound, init,
+					discretise.Options{D: 1 / float64(den), AllowCoarse: den < 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = got
+			}
+			b.ReportMetric(v, "probability")
+		})
+	}
+}
+
+// BenchmarkFigure1Simulation regenerates Figure 1's process: Monte-Carlo
+// sampling of the 2-D process (X_t, Y_t) with the absorbing reward barrier.
+func BenchmarkFigure1Simulation(b *testing.B) {
+	m, goal, init := q3Setup(b)
+	s := sim.New(m, 1)
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		est, err := s.ReachProb(init, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.Value > 0 {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "hit-fraction")
+}
+
+// BenchmarkFigure2SRNGeneration regenerates Figure 2's model: SRN
+// reachability-graph construction of the battery-powered station.
+func BenchmarkFigure2SRNGeneration(b *testing.B) {
+	net, init := adhoc.Net()
+	for i := 0; i < b.N; i++ {
+		m, _, err := net.BuildMRM(init, srn.Options{Reward: adhoc.Power})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.N() != 9 {
+			b.Fatalf("state space changed: %d", m.N())
+		}
+	}
+}
+
+// BenchmarkQ1RewardBoundedUntil benchmarks the P2 procedure (duality +
+// transient analysis) behind property Q1.
+func BenchmarkQ1RewardBoundedUntil(b *testing.B) {
+	m, err := adhoc.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.New(m, core.DefaultOptions())
+	f := logic.MustParse("P=? [ F{r<=600} call_incoming ]")
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Values(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ2TimeBoundedUntil benchmarks the P1 procedure (transient
+// analysis of the transformed MRM) behind property Q2.
+func BenchmarkQ2TimeBoundedUntil(b *testing.B) {
+	m, err := adhoc.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.New(m, core.DefaultOptions())
+	f := logic.MustParse("P=? [ F{t<=24} call_incoming ]")
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Values(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQ3FullChecker benchmarks the complete Q3 pipeline — parsing,
+// satisfaction sets, Theorem 1 reduction and the P3 procedure — for each
+// algorithm.
+func BenchmarkQ3FullChecker(b *testing.B) {
+	m, err := adhoc.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := logic.MustParse("P>0.5 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]")
+	for _, alg := range []core.Algorithm{core.AlgSericola, core.AlgErlang, core.AlgDiscretise} {
+		b.Run(alg.String(), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.P3 = alg
+			opts.Epsilon = 1e-8
+			opts.ErlangK = 256
+			opts.DiscretiseStep = 1.0 / 32
+			c := core.New(m, opts)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Check(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationPoissonWeights compares Fox–Glynn against the naive
+// log-space pmf evaluation for the weight vector of a uniformisation run.
+func BenchmarkAblationPoissonWeights(b *testing.B) {
+	const q = 468 // λt of the case study
+	b.Run("fox-glynn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := numeric.FoxGlynn(q, 1e-12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-pmf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n, err := numeric.PoissonTruncation(q, 1e-12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				sum += numeric.PoissonPMF(q, k)
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				b.Fatal("weights do not sum to 1")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBackwardVsForwardUntil compares the backward
+// uniformisation sweep (one pass for all states) against forward transient
+// analysis per initial state for a P1-type until.
+func BenchmarkAblationBackwardVsForwardUntil(b *testing.B) {
+	m, err := adhoc.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	phi := mrm.NewStateSet(m.N()).Complement()
+	psi := m.Label("call_incoming")
+	abs, err := m.MakeAbsorbing(psi, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("backward-single-sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := transient.TimeBoundedUntil(m, phi, psi, 24, transient.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("forward-per-state", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < m.N(); s++ {
+				init := make([]float64, m.N())
+				init[s] = 1
+				pi, err := transient.DistributionFrom(abs, init, 24, transient.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				var v float64
+				psi.Each(func(j int) { v += pi[j] })
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSparseVsDenseMatVec measures the sparse CSR
+// matrix-vector product against a dense row-major product on the Erlang
+// expansion of the case study (5·256+1 states), the largest matrix the
+// paper's evaluation touches.
+func BenchmarkAblationSparseVsDenseMatVec(b *testing.B) {
+	red, err := adhoc.Q3Reduced()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := erlang.Expand(red.Model, adhoc.Q3PaperRewardBound, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := e.Model.Uniformised(e.Model.UniformisationRate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := p.Dim()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	b.Run("sparse-csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.MulVec(y, x)
+		}
+	})
+	dense := p.Dense()
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < n; r++ {
+				var s float64
+				row := dense[r]
+				for c, v := range row {
+					s += v * x[c]
+				}
+				y[r] = s
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSolvers compares Gauss–Seidel and Jacobi on the
+// unbounded-until linear system of the reduced model (tiny here, but the
+// ratio is the point).
+func BenchmarkAblationSolvers(b *testing.B) {
+	// A random-walk system large enough to show iteration behaviour.
+	const n = 500
+	builder := sparse.NewBuilder(n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			builder.Add(i, i-1, 0.45)
+		}
+		if i < n-1 {
+			builder.Add(i, i+1, 0.45)
+		} else {
+			rhs[i] = 0.45
+		}
+	}
+	a, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := numeric.DefaultSolveOptions()
+	opts.Tolerance = 1e-10
+	b.Run("gauss-seidel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := numeric.SolveGaussSeidel(a, rhs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("jacobi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := numeric.SolveJacobi(a, rhs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLumping measures formula-dependent lumping (the
+// reduction MRMC-style tools apply before CSRL checking) against checking
+// the unreduced model, on a left/right-symmetric repairable cluster.
+func BenchmarkAblationLumping(b *testing.B) {
+	buildCluster := func() *mrm.MRM {
+		arc := func(p int) []srn.Arc { return []srn.Arc{{Place: p, Weight: 1}} }
+		net := &srn.Net{
+			Places: []string{"lu", "ld", "ru", "rd"},
+			Transitions: []srn.Transition{
+				{Name: "fl", In: arc(0), Out: arc(1), RateFn: func(m srn.Marking) float64 { return 0.1 * float64(m[0]) }},
+				{Name: "fr", In: arc(2), Out: arc(3), RateFn: func(m srn.Marking) float64 { return 0.1 * float64(m[2]) }},
+				{Name: "rl", In: arc(1), Out: arc(0), Rate: 2},
+				{Name: "rr", In: arc(3), Out: arc(2), Rate: 2},
+			},
+		}
+		const perSide = 8
+		init := srn.Marking{perSide, 0, perSide, 0}
+		m, _, err := net.BuildMRM(init, srn.Options{
+			Reward: func(mk srn.Marking) float64 { return float64(mk[1] + mk[3]) },
+			Labels: func(mk srn.Marking) []string {
+				var ls []string
+				if mk[0]+mk[2] >= perSide {
+					ls = append(ls, "qos")
+				}
+				if mk[1]+mk[3] == 0 {
+					ls = append(ls, "pristine")
+				}
+				return ls
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	m := buildCluster()
+	formula := logic.MustParse("P=? [ qos U{t<=24, r<=20} pristine ]")
+	opts := core.DefaultOptions()
+	opts.Epsilon = 1e-7
+	b.Run("direct", func(b *testing.B) {
+		c := core.New(m, opts)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Values(formula); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lump-then-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := lump.QuotientRespecting(m, []string{"qos", "pristine"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := core.New(res.Model, opts)
+			vals, err := c.Values(formula)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res.Lift(vals)
+		}
+	})
+}

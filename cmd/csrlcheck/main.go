@@ -1,0 +1,178 @@
+// Command csrlcheck model-checks a CSRL formula over a Markov reward model
+// stored in the JSON format of internal/modelfile:
+//
+//	csrlcheck -model station.json 'P>0.5 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]'
+//	csrlcheck -model station.json -algorithm erlang -k 512 'P=? [ F{r<=600} call_incoming ]'
+//	csrlcheck -model station.json -states 'S>=0.9 [ call_idle ]'
+//
+// For bounded formulas it prints the satisfying states and whether the
+// model's initial distribution satisfies the formula; for P=? / S=? query
+// formulas it prints the numeric value per state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/performability/csrl/internal/core"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/lump"
+	"github.com/performability/csrl/internal/modelfile"
+	"github.com/performability/csrl/internal/mrm"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csrlcheck:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run returns the process exit code: 0 when the formula holds (or for
+// query formulas), 2 when a bounded formula does not hold.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("csrlcheck", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "", "path to the model JSON file (required)")
+		algorithm = fs.String("algorithm", "sericola", "P3 procedure: sericola | erlang | discretise")
+		epsilon   = fs.Float64("epsilon", 1e-9, "accuracy for uniformisation-based computations")
+		k         = fs.Int("k", 256, "phase count for -algorithm erlang")
+		d         = fs.Float64("d", 0, "step for -algorithm discretise (0 = automatic)")
+		states    = fs.Bool("states", false, "list every state with its verdict/value")
+		doLump    = fs.Bool("lump", false, "lump the model w.r.t. the formula's atoms before checking")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: csrlcheck -model FILE [flags] FORMULA\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *modelPath == "" {
+		fs.Usage()
+		return 1, fmt.Errorf("-model is required")
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 1, fmt.Errorf("exactly one formula argument expected, got %d", fs.NArg())
+	}
+	formulaSrc := fs.Arg(0)
+
+	m, err := modelfile.Load(*modelPath)
+	if err != nil {
+		return 1, err
+	}
+	formula, err := logic.Parse(formulaSrc)
+	if err != nil {
+		return 1, err
+	}
+	opts := core.DefaultOptions()
+	opts.Epsilon = *epsilon
+	opts.ErlangK = *k
+	opts.DiscretiseStep = *d
+	switch strings.ToLower(*algorithm) {
+	case "sericola", "occupation-time":
+		opts.P3 = core.AlgSericola
+	case "erlang", "pseudo-erlang":
+		opts.P3 = core.AlgErlang
+	case "discretise", "discretisation", "tijms-veldman":
+		opts.P3 = core.AlgDiscretise
+	default:
+		return 1, fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+	// Formula-dependent lumping: quotient the model by ordinary
+	// lumpability respecting only the formula's atoms; verdicts and values
+	// are lifted back to the original states afterwards.
+	original := m
+	var lumped *lump.Result
+	if *doLump {
+		lumped, err = lump.QuotientRespecting(m, logic.Atoms(formula))
+		if err != nil {
+			return 1, err
+		}
+		m = lumped.Model
+	}
+	checker := core.New(m, opts)
+
+	fmt.Fprintf(out, "model:   %s (%d states)\n", *modelPath, original.N())
+	if lumped != nil {
+		fmt.Fprintf(out, "lumped:  %d states\n", m.N())
+	}
+	fmt.Fprintf(out, "formula: %s\n", formula)
+
+	lift := func(vals []float64) []float64 {
+		if lumped == nil {
+			return vals
+		}
+		return lumped.Lift(vals)
+	}
+
+	if isQuery(formula) {
+		qvals, err := checker.Values(formula)
+		if err != nil {
+			return 1, err
+		}
+		vals := lift(qvals)
+		var initVal float64
+		for s, p := range original.Init() {
+			initVal += p * vals[s]
+		}
+		fmt.Fprintf(out, "value from the initial distribution: %0.10f\n", initVal)
+		if *states {
+			for s, v := range vals {
+				fmt.Fprintf(out, "  %-30s %0.10f\n", original.Name(s), v)
+			}
+		}
+		return 0, nil
+	}
+
+	qsat, err := checker.Sat(formula)
+	if err != nil {
+		return 1, err
+	}
+	holds, err := checker.Check(formula)
+	if err != nil {
+		return 1, err
+	}
+	sat := qsat
+	if lumped != nil {
+		sat = mrm.NewStateSet(original.N())
+		for s, b := range lumped.BlockOf {
+			if qsat.Contains(b) {
+				sat.Add(s)
+			}
+		}
+	}
+	fmt.Fprintf(out, "satisfying states: %d of %d\n", sat.Len(), original.N())
+	if *states {
+		for s := 0; s < original.N(); s++ {
+			verdict := "no"
+			if sat.Contains(s) {
+				verdict = "YES"
+			}
+			fmt.Fprintf(out, "  %-30s %s\n", original.Name(s), verdict)
+		}
+	}
+	fmt.Fprintf(out, "holds in the initial state(s): %v\n", holds)
+	if !holds {
+		// Distinguish "property fails" (2) from tool failure (1).
+		return 2, nil
+	}
+	return 0, nil
+}
+
+func isQuery(f logic.StateFormula) bool {
+	switch t := f.(type) {
+	case logic.Prob:
+		return t.Query
+	case logic.Steady:
+		return t.Query
+	default:
+		return false
+	}
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/performability/csrl/internal/adhoc"
+	"github.com/performability/csrl/internal/modelfile"
+)
+
+func writeStationModel(t *testing.T) string {
+	t.Helper()
+	m, err := adhoc.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "station.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := modelfile.Encode(f, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQueryFormula(t *testing.T) {
+	path := writeStationModel(t)
+	var out bytes.Buffer
+	code, err := run([]string{"-model", path, "P=? [ F{t<=24} call_incoming ]"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out.String(), "0.99444") {
+		t.Errorf("expected Q2 value in output:\n%s", out.String())
+	}
+}
+
+func TestRunBoundedFormulaHolds(t *testing.T) {
+	path := writeStationModel(t)
+	var out bytes.Buffer
+	code, err := run([]string{"-model", path, "-states", "P>0.5 [ F{t<=24} call_incoming ]"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "holds in the initial state(s): true") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "adhoc_idle+call_idle") {
+		t.Errorf("-states listing missing:\n%s", out.String())
+	}
+}
+
+func TestRunBoundedFormulaFails(t *testing.T) {
+	path := writeStationModel(t)
+	var out bytes.Buffer
+	code, err := run([]string{"-model", path,
+		"P>0.5 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 for a failing property", code)
+	}
+}
+
+func TestRunAlgorithmSelection(t *testing.T) {
+	path := writeStationModel(t)
+	const formula = "P=? [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]"
+	for _, alg := range []string{"sericola", "erlang", "discretise"} {
+		var out bytes.Buffer
+		args := []string{"-model", path, "-algorithm", alg, "-epsilon", "1e-7", "-k", "128", "-d", "0.03125", formula}
+		code, err := run(args, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if code != 0 {
+			t.Fatalf("%s: exit code %d", alg, code)
+		}
+		if !strings.Contains(out.String(), "0.49") {
+			t.Errorf("%s: expected a value near 0.497:\n%s", alg, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeStationModel(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no model", []string{"P>0 [ F doze ]"}},
+		{"missing file", []string{"-model", "nope.json", "P>0 [ F doze ]"}},
+		{"no formula", []string{"-model", path}},
+		{"two formulas", []string{"-model", path, "a", "b"}},
+		{"bad formula", []string{"-model", path, "P>0.5 [ a U"}},
+		{"bad algorithm", []string{"-model", path, "-algorithm", "magic", "P>0 [ F doze ]"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if _, err := run(tc.args, &out); err == nil {
+				t.Errorf("%v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestRunWithLumping(t *testing.T) {
+	// A left/right-symmetric model that lumps 3 -> 2 states.
+	doc := `{
+  "states": [
+    {"name": "mid", "reward": 1, "labels": ["start"], "init": 1},
+    {"name": "left", "reward": 2, "labels": ["edge"]},
+    {"name": "right", "reward": 2, "labels": ["edge"]}
+  ],
+  "transitions": [
+    {"from": "mid", "to": "left", "rate": 1},
+    {"from": "mid", "to": "right", "rate": 1}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "sym.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var plain, lumped bytes.Buffer
+	if _, err := run([]string{"-model", path, "-states", "P=? [ F{t<=1} edge ]"}, &plain); err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	if _, err := run([]string{"-model", path, "-lump", "-states", "P=? [ F{t<=1} edge ]"}, &lumped); err != nil {
+		t.Fatalf("lumped: %v", err)
+	}
+	if !strings.Contains(lumped.String(), "lumped:  2 states") {
+		t.Errorf("expected a 2-state quotient:\n%s", lumped.String())
+	}
+	// The per-state values must agree between the two runs.
+	extract := func(out string) []string {
+		var vals []string
+		for _, line := range strings.Split(out, "\n") {
+			f := strings.Fields(line)
+			if len(f) == 2 && strings.Contains(f[1], ".") {
+				if _, err := strconv.ParseFloat(f[1], 64); err == nil {
+					vals = append(vals, f[0]+"="+f[1])
+				}
+			}
+		}
+		return vals
+	}
+	a, b := extract(plain.String()), extract(lumped.String())
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("state listings: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("state %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

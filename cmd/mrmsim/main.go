@@ -1,0 +1,131 @@
+// Command mrmsim simulates the two-dimensional stochastic process
+// (X_t, Y_t) of Figure 1 on a Markov reward model: it draws sample paths,
+// optionally writes them as CSV for plotting, and estimates the Theorem 2
+// quantity Pr{Y_t ≤ r, X_t ∈ goal} by Monte Carlo.
+//
+//	mrmsim -model station.json -t 24 -r 600 -goal call_initiated -paths 100000
+//	mrmsim -model station.json -t 24 -trajectories 10 -csv traj.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/performability/csrl/internal/modelfile"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mrmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mrmsim", flag.ContinueOnError)
+	var (
+		modelPath    = fs.String("model", "", "path to the model JSON file (required)")
+		horizon      = fs.Float64("t", 1, "time horizon")
+		reward       = fs.Float64("r", math.Inf(1), "reward barrier (default: none)")
+		goalLabel    = fs.String("goal", "", "goal label for the reachability estimate")
+		paths        = fs.Int("paths", 100_000, "Monte-Carlo paths for the estimate")
+		trajectories = fs.Int("trajectories", 0, "sample trajectories to print/export")
+		csvPath      = fs.String("csv", "", "write trajectories as CSV to this file")
+		seed         = fs.Int64("seed", 1, "random seed")
+		from         = fs.String("from", "", "start state name (default: the model's initial state)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-model is required")
+	}
+	m, err := modelfile.Load(*modelPath)
+	if err != nil {
+		return err
+	}
+	start := m.InitialState()
+	if *from != "" {
+		start = m.StateIndex(*from)
+		if start < 0 {
+			return fmt.Errorf("unknown state %q; states are: %s", *from, stateNames(m))
+		}
+	}
+	if start < 0 {
+		return fmt.Errorf("model has no point-mass initial state; pass -from")
+	}
+	s := sim.New(m, *seed)
+
+	if *trajectories > 0 {
+		var w *csv.Writer
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = csv.NewWriter(f)
+			defer w.Flush()
+			if err := w.Write([]string{"trajectory", "time", "state", "state_name", "accumulated_reward"}); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < *trajectories; i++ {
+			p, err := s.SamplePath(start, *horizon, 100_000)
+			if err != nil {
+				return err
+			}
+			if w == nil {
+				fmt.Printf("trajectory %d:\n", i+1)
+			}
+			for _, e := range p.Events {
+				if w != nil {
+					if err := w.Write([]string{
+						strconv.Itoa(i + 1),
+						strconv.FormatFloat(e.Time, 'g', -1, 64),
+						strconv.Itoa(e.State),
+						m.Name(e.State),
+						strconv.FormatFloat(e.Reward, 'g', -1, 64),
+					}); err != nil {
+						return err
+					}
+					continue
+				}
+				fmt.Printf("  t=%10.5f  X=%-30s Y=%10.3f\n", e.Time, m.Name(e.State), e.Reward)
+			}
+		}
+		if w != nil {
+			fmt.Printf("wrote %d trajectories to %s\n", *trajectories, *csvPath)
+		}
+	}
+
+	if *goalLabel != "" {
+		goal := m.Label(*goalLabel)
+		if goal.IsEmpty() {
+			return fmt.Errorf("no state carries label %q", *goalLabel)
+		}
+		est, err := s.ReachProb(start, goal, *horizon, *reward, *paths)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Pr{Y_%g ≤ %g, X_%g ∈ %q} ≈ %v (from %s)\n",
+			*horizon, *reward, *horizon, *goalLabel, est, m.Name(start))
+	}
+	return nil
+}
+
+func stateNames(m *mrm.MRM) string {
+	names := make([]string, m.N())
+	for s := range names {
+		names[s] = m.Name(s)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/performability/csrl/internal/adhoc"
+	"github.com/performability/csrl/internal/modelfile"
+)
+
+func writeStationModel(t *testing.T) string {
+	t.Helper()
+	m, err := adhoc.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "station.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := modelfile.Encode(f, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCSVExport(t *testing.T) {
+	model := writeStationModel(t)
+	csvPath := filepath.Join(t.TempDir(), "traj.csv")
+	err := run([]string{
+		"-model", model, "-t", "2", "-trajectories", "3", "-csv", csvPath, "-seed", "7",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("read csv: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("csv too short: %d lines", len(lines))
+	}
+	if lines[0] != "trajectory,time,state,state_name,accumulated_reward" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,0,") {
+		t.Errorf("first event should be trajectory 1 at time 0: %q", lines[1])
+	}
+}
+
+func TestGoalEstimate(t *testing.T) {
+	model := writeStationModel(t)
+	err := run([]string{
+		"-model", model, "-t", "24", "-goal", "call_incoming", "-paths", "1000", "-seed", "3",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestFromFlag(t *testing.T) {
+	model := writeStationModel(t)
+	if err := run([]string{"-model", model, "-from", "doze", "-t", "1", "-trajectories", "1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-model", model, "-from", "nonexistent", "-t", "1", "-trajectories", "1"}); err == nil {
+		t.Error("unknown -from state accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	model := writeStationModel(t)
+	cases := [][]string{
+		{},                                    // no model
+		{"-model", "missing.json", "-t", "1"}, // missing file
+		{"-model", model, "-goal", "nope"},    // unknown goal label
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

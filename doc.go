@@ -1,0 +1,14 @@
+// Package csrl is a reproduction of "Model Checking Performability
+// Properties" (Haverkort, Cloth, Hermanns, Katoen, Baier; DSN 2002): a
+// model checker for the continuous stochastic reward logic CSRL over Markov
+// reward models, with the paper's three computational procedures for time-
+// and reward-bounded until formulas — the pseudo-Erlang approximation, the
+// Tijms–Veldman discretisation and Sericola's occupation-time distribution
+// algorithm — plus the stochastic-reward-net substrate and the ad-hoc
+// networking case study of the paper's evaluation.
+//
+// The implementation lives under internal/; see README.md for the package
+// map, DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's Section 5.
+package csrl

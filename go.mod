@@ -1,0 +1,3 @@
+module github.com/performability/csrl
+
+go 1.22

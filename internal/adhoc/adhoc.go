@@ -1,0 +1,190 @@
+// Package adhoc builds the paper's case study (Section 5): a single
+// battery-powered mobile station in an ad-hoc network, modelled as the
+// stochastic reward net of Figure 2 with the rates and power-consumption
+// rewards of Table 1. The basic time unit is 1 hour and the basic reward
+// unit is 1 mA; the battery holds 750 mAh when fully charged.
+package adhoc
+
+import (
+	"fmt"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/srn"
+)
+
+// Place indices of the SRN in Figure 2.
+const (
+	AdHocIdle = iota
+	AdHocActive
+	CallIdle
+	CallInitiated
+	CallIncoming
+	CallActive
+	Doze
+	numPlaces
+)
+
+// Rates of Table 1, per hour.
+const (
+	RateAccept     = 180  // mean 20 s
+	RateConnect    = 360  // mean 10 s
+	RateDisconnect = 15   // mean 4 min
+	RateDoze       = 12   // mean 5 min
+	RateGiveUp     = 60   // mean 1 min
+	RateInterrupt  = 60   // mean 1 min
+	RateLaunch     = 0.75 // mean 80 min
+	RateReconfirm  = 15   // mean 4 min
+	RateRequest    = 6    // mean 10 min
+	RateRing       = 0.75 // mean 80 min
+	RateWakeUp     = 3.75 // mean 16 min
+)
+
+// Power rewards of Table 1, in mA.
+const (
+	PowerAdHocActive   = 150
+	PowerAdHocIdle     = 50
+	PowerCallActive    = 200
+	PowerCallIdle      = 50
+	PowerCallIncoming  = 150
+	PowerCallInitiated = 150
+	PowerDoze          = 20
+)
+
+// BatteryCapacity is the full battery charge in mAh.
+const BatteryCapacity = 750.0
+
+// placeNames matches the atomic propositions used in the CSRL properties.
+var placeNames = [numPlaces]string{
+	AdHocIdle:     "adhoc_idle",
+	AdHocActive:   "adhoc_active",
+	CallIdle:      "call_idle",
+	CallInitiated: "call_initiated",
+	CallIncoming:  "call_incoming",
+	CallActive:    "call_active",
+	Doze:          "doze",
+}
+
+var placePower = [numPlaces]float64{
+	AdHocIdle:     PowerAdHocIdle,
+	AdHocActive:   PowerAdHocActive,
+	CallIdle:      PowerCallIdle,
+	CallInitiated: PowerCallInitiated,
+	CallIncoming:  PowerCallIncoming,
+	CallActive:    PowerCallActive,
+	Doze:          PowerDoze,
+}
+
+// Net returns the SRN of Figure 2 together with its initial marking
+// (both threads idle).
+func Net() (*srn.Net, srn.Marking) {
+	arc := func(p int) []srn.Arc { return []srn.Arc{{Place: p, Weight: 1}} }
+	net := &srn.Net{
+		Places: placeNames[:],
+		Transitions: []srn.Transition{
+			{Name: "request", Rate: RateRequest, In: arc(AdHocIdle), Out: arc(AdHocActive)},
+			{Name: "reconfirm", Rate: RateReconfirm, In: arc(AdHocActive), Out: arc(AdHocIdle)},
+			{Name: "launch", Rate: RateLaunch, In: arc(CallIdle), Out: arc(CallInitiated)},
+			{Name: "connect", Rate: RateConnect, In: arc(CallInitiated), Out: arc(CallActive)},
+			{Name: "give_up", Rate: RateGiveUp, In: arc(CallInitiated), Out: arc(CallIdle)},
+			{Name: "ring", Rate: RateRing, In: arc(CallIdle), Out: arc(CallIncoming)},
+			{Name: "accept", Rate: RateAccept, In: arc(CallIncoming), Out: arc(CallActive)},
+			{Name: "interrupt", Rate: RateInterrupt, In: arc(CallIncoming), Out: arc(CallIdle)},
+			{Name: "disconnect", Rate: RateDisconnect, In: arc(CallActive), Out: arc(CallIdle)},
+			{
+				Name: "doze", Rate: RateDoze,
+				In:  []srn.Arc{{Place: AdHocIdle, Weight: 1}, {Place: CallIdle, Weight: 1}},
+				Out: arc(Doze),
+			},
+			{
+				Name: "wake_up", Rate: RateWakeUp,
+				In:  arc(Doze),
+				Out: []srn.Arc{{Place: AdHocIdle, Weight: 1}, {Place: CallIdle, Weight: 1}},
+			},
+		},
+	}
+	init := make(srn.Marking, numPlaces)
+	init[AdHocIdle] = 1
+	init[CallIdle] = 1
+	return net, init
+}
+
+// Power returns the reward rate of a marking: 20 mA in doze mode, otherwise
+// the sum of the per-task consumptions of the marked places (paper §5.2:
+// power consumption is additive over the two concurrent tasks).
+func Power(m srn.Marking) float64 {
+	if m[Doze] > 0 {
+		return PowerDoze
+	}
+	var sum float64
+	for p, tokens := range m {
+		if tokens > 0 {
+			sum += placePower[p] * float64(tokens)
+		}
+	}
+	return sum
+}
+
+// Model generates the 9-state MRM underlying the SRN via reachability-graph
+// construction.
+func Model() (*mrm.MRM, error) {
+	net, init := Net()
+	model, markings, err := net.BuildMRM(init, srn.Options{Reward: Power})
+	if err != nil {
+		return nil, fmt.Errorf("adhoc: %w", err)
+	}
+	if len(markings) != 9 {
+		return nil, fmt.Errorf("adhoc: expected 9 recurrent states, got %d", len(markings))
+	}
+	return model, nil
+}
+
+// Q3Reduced returns the reduced MRM M' of the paper for property Q3
+// (three transient and two absorbing states), built by applying Theorem 1
+// to Φ = call_idle ∨ doze and Ψ = call_initiated on the full model.
+func Q3Reduced() (*mrm.UntilReduction, error) {
+	model, err := Model()
+	if err != nil {
+		return nil, err
+	}
+	phi := model.Label("call_idle").Union(model.Label("doze"))
+	psi := model.Label("call_initiated")
+	red, err := mrm.ReduceForUntil(model, phi, psi)
+	if err != nil {
+		return nil, fmt.Errorf("adhoc: Q3 reduction: %w", err)
+	}
+	return red, nil
+}
+
+// Q3 bounds as stated in the paper's text: within 24 hours, at most 80% of
+// the 750 mAh battery.
+const (
+	Q3TimeBound   = 24.0
+	Q3RewardBound = 0.8 * BatteryCapacity // 600 mAh
+)
+
+// Q3PaperRewardBound is the reward bound that actually reproduces the
+// numbers printed in Tables 2–4.
+//
+// Reproduction finding: the paper's text derives r = 0.8·750 = 600 mAh, but
+// no parameter set with r = 600 matches the printed tables, while r = 550
+// reproduces the converged occupation-time value 0.49540399 to within
+// 3·10⁻⁶ and the whole pseudo-Erlang and discretisation ladders to a few
+// 10⁻⁶ (large k / small d). All table-reproduction code therefore uses
+// r = 550; the text-faithful r = 600 value on this model is
+// Q3TextValue = 0.49699673.
+const Q3PaperRewardBound = 550.0
+
+// PaperQ3Value is the converged probability for Q3's path formula reported
+// in Table 2 (occupation-time algorithm at ε = 1e-8).
+const PaperQ3Value = 0.49540399
+
+// Q3TextValue is the probability of Q3's path formula for the bounds as
+// literally stated in the text (t = 24 h, r = 600 mAh), computed by all
+// three procedures of this package's reproduction (they agree to < 1e-6)
+// and confirmed by direct path simulation on the full 9-state model.
+const Q3TextValue = 0.49699673
+
+// PaperLambda is the uniformisation rate the paper's implementation used
+// (max_s E(s) of the reduced model, without head-room); using it makes the
+// N column of Table 2 reproduce exactly.
+const PaperLambda = 19.5

@@ -1,0 +1,259 @@
+package adhoc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/discretise"
+	"github.com/performability/csrl/internal/erlang"
+	"github.com/performability/csrl/internal/sericola"
+	"github.com/performability/csrl/internal/sim"
+)
+
+func TestModelHasNineRecurrentStates(t *testing.T) {
+	m, err := Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	if m.N() != 9 {
+		t.Fatalf("got %d states, paper reports 9", m.N())
+	}
+	for s := 0; s < m.N(); s++ {
+		if m.IsAbsorbing(s) {
+			t.Errorf("state %d (%s) is absorbing; all 9 states are recurrent", s, m.Name(s))
+		}
+	}
+}
+
+func TestRewardsMatchTable1(t *testing.T) {
+	m, err := Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	// Spot checks: initial state (both idle) consumes 100 mA; doze 20 mA;
+	// call active + adhoc active = 350 mA.
+	if got := m.Reward(0); got != 100 {
+		t.Errorf("initial state reward = %v, want 100", got)
+	}
+	doze := m.Label("doze")
+	if doze.Len() != 1 {
+		t.Fatalf("doze label covers %d states, want 1", doze.Len())
+	}
+	doze.Each(func(s int) {
+		if got := m.Reward(s); got != 20 {
+			t.Errorf("doze reward = %v, want 20", got)
+		}
+	})
+	both := m.Label("adhoc_active").Intersect(m.Label("call_active"))
+	if both.Len() != 1 {
+		t.Fatalf("adhoc_active∧call_active covers %d states, want 1", both.Len())
+	}
+	both.Each(func(s int) {
+		if got := m.Reward(s); got != 350 {
+			t.Errorf("fully-active reward = %v, want 350", got)
+		}
+	})
+}
+
+func TestQ3ReducedShape(t *testing.T) {
+	red, err := Q3Reduced()
+	if err != nil {
+		t.Fatalf("Q3Reduced: %v", err)
+	}
+	// Paper §5.4: three transient and two absorbing states.
+	if red.Model.N() != 5 {
+		t.Fatalf("reduced model has %d states, want 5", red.Model.N())
+	}
+	if red.Fail < 0 {
+		t.Fatalf("expected a fail state")
+	}
+	if !red.Model.IsAbsorbing(red.Goal) || !red.Model.IsAbsorbing(red.Fail) {
+		t.Fatalf("goal/fail must be absorbing")
+	}
+	if red.Model.Reward(red.Goal) != 0 || red.Model.Reward(red.Fail) != 0 {
+		t.Fatalf("absorbing states must carry reward 0 (Theorem 1)")
+	}
+	absorbing := 0
+	for s := 0; s < red.Model.N(); s++ {
+		if red.Model.IsAbsorbing(s) {
+			absorbing++
+		}
+	}
+	if absorbing != 2 {
+		t.Fatalf("got %d absorbing states, want 2", absorbing)
+	}
+	// The paper's uniformisation rate is the maximum exit rate 19.5.
+	var maxE float64
+	for s := 0; s < red.Model.N(); s++ {
+		if e := red.Model.ExitRate(s); e > maxE {
+			maxE = e
+		}
+	}
+	if maxE != PaperLambda {
+		t.Errorf("max exit rate = %v, want %v", maxE, PaperLambda)
+	}
+}
+
+// TestQ3PaperTables is the headline reproduction check: with the effective
+// reward bound of the paper's evaluation (r = 550, see Q3PaperRewardBound)
+// the three computational procedures of Section 4 reproduce the printed
+// values of Tables 2–4.
+func TestQ3PaperTables(t *testing.T) {
+	red, err := Q3Reduced()
+	if err != nil {
+		t.Fatalf("Q3Reduced: %v", err)
+	}
+	goal := red.Model.Label("goal")
+	init := red.Model.InitialState()
+	if init < 0 {
+		t.Fatalf("reduced model lost its point-mass initial state")
+	}
+
+	t.Run("table2_sericola", func(t *testing.T) {
+		rows := []struct {
+			eps   float64
+			wantN int
+			want  float64
+		}{
+			{1e-1, 496, 0.44831203},
+			{1e-2, 519, 0.49068833},
+			{1e-4, 551, 0.49536172},
+			{1e-8, 594, 0.49540399},
+		}
+		for _, row := range rows {
+			res, err := sericola.ReachProbAll(red.Model, goal, Q3TimeBound, Q3PaperRewardBound,
+				sericola.Options{Epsilon: row.eps, Lambda: PaperLambda})
+			if err != nil {
+				t.Fatalf("sericola eps=%v: %v", row.eps, err)
+			}
+			got := res.Values[init]
+			t.Logf("eps=%.0e: value %0.8f (want %0.8f), N=%d (want %d)", row.eps, got, row.want, res.N, row.wantN)
+			if res.N != row.wantN {
+				t.Errorf("eps=%.0e: N=%d, paper N=%d", row.eps, res.N, row.wantN)
+			}
+			// The truncated series under-approximates by up to eps; match
+			// the paper row to a small multiple of the printed precision.
+			tol := 2e-5 + 0.05*row.eps
+			if math.Abs(got-row.want) > tol {
+				t.Errorf("eps=%.0e: value %0.8f, paper %0.8f (tol %g)", row.eps, got, row.want, tol)
+			}
+		}
+	})
+
+	t.Run("table3_erlang", func(t *testing.T) {
+		rows := []struct {
+			k    int
+			want float64
+			tol  float64
+		}{
+			{1, 0.41067310, 3e-3},
+			{8, 0.48742851, 2e-4},
+			{64, 0.49457832, 2e-5},
+			{1024, 0.49535410, 5e-6},
+		}
+		for _, row := range rows {
+			got, err := erlang.ReachProb(red.Model, goal, Q3TimeBound, Q3PaperRewardBound, erlang.Options{K: row.k})
+			if err != nil {
+				t.Fatalf("erlang k=%d: %v", row.k, err)
+			}
+			t.Logf("k=%4d: value %0.8f (paper %0.8f)", row.k, got, row.want)
+			if math.Abs(got-row.want) > row.tol {
+				t.Errorf("k=%d: value %0.8f, paper %0.8f (tol %g)", row.k, got, row.want, row.tol)
+			}
+		}
+	})
+
+	t.Run("table4_discretise", func(t *testing.T) {
+		rows := []struct {
+			d    float64
+			want float64
+			tol  float64
+		}{
+			// The paper's step ladder d = 1/16 … 1/128; the first row
+			// exceeds 1/max E(s) and needs AllowCoarse.
+			{1.0 / 32, 0.49553603, 2e-5},
+			{1.0 / 64, 0.49547017, 2e-5},
+			{1.0 / 128, 0.49543712, 2e-5},
+		}
+		for _, row := range rows {
+			got, err := discretise.ReachProb(red.Model, goal, Q3TimeBound, Q3PaperRewardBound, init,
+				discretise.Options{D: row.d, AllowCoarse: true})
+			if err != nil {
+				t.Fatalf("discretise d=%v: %v", row.d, err)
+			}
+			t.Logf("d=%v: value %0.8f (paper %0.8f)", row.d, got, row.want)
+			if math.Abs(got-row.want) > row.tol {
+				t.Errorf("d=%v: value %0.8f, paper %0.8f (tol %g)", row.d, got, row.want, row.tol)
+			}
+		}
+	})
+}
+
+// TestQ3TextBounds cross-validates all procedures on the bounds as stated
+// in the paper's text (t=24 h, r=600 mAh = 80% of the battery): the three
+// numerical procedures and a Monte-Carlo estimate must agree on
+// Q3TextValue.
+func TestQ3TextBounds(t *testing.T) {
+	red, err := Q3Reduced()
+	if err != nil {
+		t.Fatalf("Q3Reduced: %v", err)
+	}
+	goal := red.Model.Label("goal")
+	init := red.Model.InitialState()
+
+	v, n, err := sericola.ReachProb(red.Model, goal, Q3TimeBound, Q3RewardBound, sericola.Options{Epsilon: 1e-9})
+	if err != nil {
+		t.Fatalf("sericola: %v", err)
+	}
+	t.Logf("sericola: %0.8f (N=%d)", v, n)
+	if math.Abs(v-Q3TextValue) > 1e-7 {
+		t.Errorf("sericola %0.8f, want %0.8f", v, Q3TextValue)
+	}
+
+	ve, err := erlang.ReachProb(red.Model, goal, Q3TimeBound, Q3RewardBound, erlang.Options{K: 1024})
+	if err != nil {
+		t.Fatalf("erlang: %v", err)
+	}
+	if math.Abs(ve-Q3TextValue) > 1e-4 {
+		t.Errorf("erlang k=1024 %0.8f, want %0.8f ± 1e-4", ve, Q3TextValue)
+	}
+
+	vd, err := discretise.ReachProb(red.Model, goal, Q3TimeBound, Q3RewardBound, init, discretise.Options{D: 1.0 / 64})
+	if err != nil {
+		t.Fatalf("discretise: %v", err)
+	}
+	if math.Abs(vd-Q3TextValue) > 2e-4 {
+		t.Errorf("discretise d=1/64 %0.8f, want %0.8f ± 2e-4", vd, Q3TextValue)
+	}
+
+	s := sim.New(red.Model, 42)
+	est, err := s.ReachProb(init, goal, Q3TimeBound, Q3RewardBound, 200_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	t.Logf("simulation: %v", est)
+	if math.Abs(est.Value-Q3TextValue) > est.HalfWidth+1e-3 {
+		t.Errorf("simulation %v incompatible with %0.8f", est, Q3TextValue)
+	}
+}
+
+// TestQ3Theorem1 verifies Theorem 1 end to end: the until probability
+// estimated directly on path semantics of the FULL model equals the
+// reachability probability on the reduced model.
+func TestQ3Theorem1(t *testing.T) {
+	full, err := Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	phi := full.Label("call_idle").Union(full.Label("doze"))
+	psi := full.Label("call_initiated")
+	s := sim.New(full, 7)
+	est, err := s.UntilProb(0, phi, psi, Q3TimeBound, Q3RewardBound, 200_000)
+	if err != nil {
+		t.Fatalf("sim until: %v", err)
+	}
+	t.Logf("direct until simulation on full model: %v", est)
+	if math.Abs(est.Value-Q3TextValue) > est.HalfWidth+1e-3 {
+		t.Errorf("direct path-semantics estimate %v incompatible with %0.8f", est, Q3TextValue)
+	}
+}

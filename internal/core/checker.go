@@ -1,0 +1,597 @@
+// Package core implements the CSRL model checker of the paper (Section 3):
+// the recursive computation of satisfaction sets Sat(Φ) over a Markov
+// reward model, with the numerical procedures of Section 4 plugged in for
+// time- and reward-bounded until formulas:
+//
+//   - P0 (no bounds):        graph precomputation + linear equation system
+//   - P1 (time bound):       transient analysis of a transformed MRM [3]
+//   - P2 (reward bound):     duality transformation [4] + P1
+//   - P3 (both bounds):      Theorem 1 reduction + one of the pseudo-Erlang,
+//     discretisation, or occupation-time procedures
+//
+// Nesting of state and path formulas is supported throughout, as is the
+// steady-state operator and (beyond the paper's evaluation) time intervals
+// [t₁,t₂] for time-only bounded until and fully general intervals for the
+// next operator.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/performability/csrl/internal/discretise"
+	"github.com/performability/csrl/internal/duality"
+	"github.com/performability/csrl/internal/erlang"
+	"github.com/performability/csrl/internal/graph"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/sericola"
+	"github.com/performability/csrl/internal/sparse"
+	"github.com/performability/csrl/internal/steady"
+	"github.com/performability/csrl/internal/transient"
+)
+
+// Algorithm selects the procedure for P3-type (time- and reward-bounded)
+// until formulas.
+type Algorithm int
+
+// The three computational procedures of Section 4.
+const (
+	// AlgSericola is the occupation-time distribution method (§4.4) — the
+	// default, being the only one with an a-priori error bound.
+	AlgSericola Algorithm = iota + 1
+	// AlgErlang is the pseudo-Erlang approximation (§4.2).
+	AlgErlang
+	// AlgDiscretise is the Tijms–Veldman discretisation (§4.3).
+	AlgDiscretise
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgSericola:
+		return "occupation-time"
+	case AlgErlang:
+		return "pseudo-erlang"
+	case AlgDiscretise:
+		return "discretisation"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures the checker.
+type Options struct {
+	// P3 selects the procedure for time- and reward-bounded until.
+	P3 Algorithm
+	// Epsilon is the accuracy for uniformisation-based computations
+	// (transient analysis and the occupation-time procedure).
+	Epsilon float64
+	// ErlangK is the phase count for AlgErlang.
+	ErlangK int
+	// DiscretiseStep is the step d for AlgDiscretise; 0 derives a step
+	// from the model's maximal exit rate (d = 1/(32·max E)).
+	DiscretiseStep float64
+	// Solve configures the linear solver for unbounded until and
+	// steady-state computations.
+	Solve numeric.SolveOptions
+}
+
+// DefaultOptions returns the configuration used by the test-suite.
+func DefaultOptions() Options {
+	return Options{
+		P3:      AlgSericola,
+		Epsilon: 1e-9,
+		ErlangK: 256,
+		Solve:   numeric.DefaultSolveOptions(),
+	}
+}
+
+// ErrUnsupported reports a formula outside the fragment with known
+// computational procedures (the paper restricts I and J to intervals
+// starting at 0 for until; general intervals are listed as future work).
+var ErrUnsupported = errors.New("core: no computational procedure for this formula")
+
+// Checker model-checks CSRL formulas over a fixed MRM.
+type Checker struct {
+	m    *mrm.MRM
+	opts Options
+}
+
+// New creates a checker for the given model.
+func New(m *mrm.MRM, opts Options) *Checker {
+	if opts.P3 == 0 {
+		opts.P3 = AlgSericola
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-9
+	}
+	if opts.ErlangK <= 0 {
+		opts.ErlangK = 256
+	}
+	return &Checker{m: m, opts: opts}
+}
+
+// Model returns the checker's model.
+func (c *Checker) Model() *mrm.MRM { return c.m }
+
+// Sat computes the satisfaction set Sat(Φ) by the bottom-up traversal of
+// the parse tree described in Section 3.
+func (c *Checker) Sat(f logic.StateFormula) (*mrm.StateSet, error) {
+	n := c.m.N()
+	switch t := f.(type) {
+	case logic.True:
+		return mrm.NewStateSet(n).Complement(), nil
+	case logic.False:
+		return mrm.NewStateSet(n), nil
+	case logic.Atomic:
+		return c.m.Label(t.Name), nil
+	case logic.Not:
+		sub, err := c.Sat(t.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return sub.Complement(), nil
+	case logic.And:
+		l, err := c.Sat(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.Sat(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return l.Intersect(r), nil
+	case logic.Or:
+		l, err := c.Sat(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.Sat(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
+	case logic.Implies:
+		l, err := c.Sat(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.Sat(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return l.Complement().Union(r), nil
+	case logic.Prob:
+		if t.Query {
+			return nil, fmt.Errorf("%w: P=? query has no satisfaction set; use Values", ErrUnsupported)
+		}
+		probs, err := c.PathProb(t.Path)
+		if err != nil {
+			return nil, err
+		}
+		set := mrm.NewStateSet(n)
+		for s, p := range probs {
+			if t.Complement {
+				p = 1 - p
+			}
+			if t.Op.Compare(p, t.Bound) {
+				set.Add(s)
+			}
+		}
+		return set, nil
+	case logic.Steady:
+		if t.Query {
+			return nil, fmt.Errorf("%w: S=? query has no satisfaction set; use Values", ErrUnsupported)
+		}
+		probs, err := c.SteadyProb(t.Sub)
+		if err != nil {
+			return nil, err
+		}
+		set := mrm.NewStateSet(n)
+		for s, p := range probs {
+			if t.Op.Compare(p, t.Bound) {
+				set.Add(s)
+			}
+		}
+		return set, nil
+	default:
+		return nil, fmt.Errorf("core: unknown state formula %T", f)
+	}
+}
+
+// Check evaluates a bounded formula against the model's initial
+// distribution: it holds when every state with positive initial probability
+// satisfies it.
+func (c *Checker) Check(f logic.StateFormula) (bool, error) {
+	sat, err := c.Sat(f)
+	if err != nil {
+		return false, err
+	}
+	for s, p := range c.m.Init() {
+		if p > 0 && !sat.Contains(s) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Values returns the per-state numeric value behind a probabilistic or
+// steady-state formula: the path probability for P-formulas (query or
+// bounded — the bound is ignored) and the long-run probability for
+// S-formulas. Boolean-level formulas have no numeric value.
+func (c *Checker) Values(f logic.StateFormula) ([]float64, error) {
+	switch t := f.(type) {
+	case logic.Prob:
+		probs, err := c.PathProb(t.Path)
+		if err != nil {
+			return nil, err
+		}
+		if t.Complement {
+			for i, p := range probs {
+				probs[i] = 1 - p
+			}
+		}
+		return probs, nil
+	case logic.Steady:
+		return c.SteadyProb(t.Sub)
+	default:
+		return nil, fmt.Errorf("%w: %s is not a P=?/S=? query", ErrUnsupported, f)
+	}
+}
+
+// PathProb returns Pr_s(φ) for every state s.
+func (c *Checker) PathProb(f logic.PathFormula) ([]float64, error) {
+	switch t := f.(type) {
+	case logic.Next:
+		return c.probNext(t)
+	case logic.Until:
+		return c.probUntil(t)
+	default:
+		return nil, fmt.Errorf("core: unknown path formula %T", f)
+	}
+}
+
+// SteadyProb returns the long-run probability of residing in Sat(Φ) for
+// every start state.
+func (c *Checker) SteadyProb(f logic.StateFormula) ([]float64, error) {
+	sat, err := c.Sat(f)
+	if err != nil {
+		return nil, err
+	}
+	return steady.Probabilities(c.m, sat)
+}
+
+// probNext computes Pr_s(X^I_J Φ) in closed form: the single jump must land
+// in Sat(Φ) at a time T ~ Exp(E(s)) with T ∈ I and ρ(s)·T ∈ J, i.e. T in
+// the intersection of I with J/ρ(s). General (non-zero-origin) intervals
+// are supported — the paper's future-work extension is straightforward for
+// the next operator.
+func (c *Checker) probNext(nx logic.Next) ([]float64, error) {
+	if !nx.Time.Valid() || !nx.Reward.Valid() {
+		return nil, fmt.Errorf("%w: invalid interval in %s", ErrUnsupported, nx)
+	}
+	sat, err := c.Sat(nx.Sub)
+	if err != nil {
+		return nil, err
+	}
+	n := c.m.N()
+	out := make([]float64, n)
+	for s := 0; s < n; s++ {
+		e := c.m.ExitRate(s)
+		if e == 0 {
+			continue // absorbing: no next state
+		}
+		lo, hi := nx.Time.Lo, nx.Time.Hi
+		switch rho := c.m.Reward(s); {
+		case rho > 0:
+			lo = math.Max(lo, nx.Reward.Lo/rho)
+			hi = math.Min(hi, nx.Reward.Hi/rho)
+		case nx.Reward.Lo > 0:
+			continue // zero reward rate can never reach a positive bound
+		}
+		if lo > hi {
+			continue
+		}
+		window := math.Exp(-e*lo) - expNeg(e*hi)
+		var hit float64
+		c.m.Rates().Row(s, func(tgt int, v float64) {
+			if sat.Contains(tgt) {
+				hit += v
+			}
+		})
+		out[s] = (hit / e) * window
+	}
+	return out, nil
+}
+
+func expNeg(x float64) float64 {
+	if math.IsInf(x, 1) {
+		return 0
+	}
+	return math.Exp(-x)
+}
+
+// probUntil dispatches Φ U^I_J Ψ to the procedure matching its bounds.
+func (c *Checker) probUntil(u logic.Until) ([]float64, error) {
+	if !u.Time.Valid() || !u.Reward.Valid() {
+		return nil, fmt.Errorf("%w: invalid interval in %s", ErrUnsupported, u)
+	}
+	phi, err := c.Sat(u.Left)
+	if err != nil {
+		return nil, err
+	}
+	psi, err := c.Sat(u.Right)
+	if err != nil {
+		return nil, err
+	}
+	timeB, rewB := !u.Time.IsUnbounded(), !u.Reward.IsUnbounded()
+	switch {
+	case !timeB && !rewB:
+		return c.untilUnbounded(phi, psi)
+	case timeB && !rewB:
+		if u.Time.StartsAtZero() {
+			return transient.TimeBoundedUntil(c.m, phi, psi, u.Time.Hi, c.transientOpts())
+		}
+		return c.untilTimeInterval(phi, psi, u.Time)
+	case !timeB && rewB:
+		if u.Reward.StartsAtZero() {
+			return duality.RewardBoundedUntil(c.m, phi, psi, u.Reward.Hi,
+				func(d *mrm.MRM, phi, psi *mrm.StateSet, t float64) ([]float64, error) {
+					return transient.TimeBoundedUntil(d, phi, psi, t, c.transientOpts())
+				})
+		}
+		// Reward interval [r1, r2]: the duality transform turns it into a
+		// time interval on the dual model, where the exact two-phase
+		// computation applies (extension; paper §6 future work).
+		d, err := duality.Dual(c.m)
+		if err != nil {
+			return nil, err
+		}
+		dual := &Checker{m: d, opts: c.opts}
+		return dual.untilTimeInterval(phi, psi, u.Reward)
+	default:
+		if u.Time.StartsAtZero() && u.Reward.StartsAtZero() {
+			return c.untilTimeReward(phi, psi, u.Time.Hi, u.Reward.Hi)
+		}
+		return c.untilRectangle(phi, psi, u.Time, u.Reward)
+	}
+}
+
+func (c *Checker) transientOpts() transient.Options {
+	return transient.Options{Epsilon: c.opts.Epsilon}
+}
+
+// untilUnbounded implements the P0 procedure (Hansson–Jonsson [13]):
+// qualitative precomputation followed by a linear system over the embedded
+// DTMC.
+func (c *Checker) untilUnbounded(phi, psi *mrm.StateSet) ([]float64, error) {
+	n := c.m.N()
+	g := graph.FromRates(c.m.Rates())
+	prob0 := graph.Prob0(g, phi, psi)
+	prob1 := graph.Prob1(g, phi, psi, prob0)
+	x := make([]float64, n)
+	prob1.Each(func(s int) { x[s] = 1 })
+	maybe := prob0.Complement().Minus(prob1)
+	if maybe.IsEmpty() {
+		return x, nil
+	}
+	states := maybe.Slice()
+	idx := make(map[int]int, len(states))
+	for i, s := range states {
+		idx[s] = i
+	}
+	b := make([]float64, len(states))
+	builder := sparse.NewBuilder(len(states))
+	for i, s := range states {
+		e := c.m.ExitRate(s)
+		if e == 0 {
+			continue
+		}
+		c.m.Rates().Row(s, func(t int, v float64) {
+			p := v / e
+			switch {
+			case prob1.Contains(t):
+				b[i] += p
+			case maybe.Contains(t):
+				builder.Add(i, idx[t], p)
+			}
+		})
+	}
+	a, err := builder.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: until system: %w", err)
+	}
+	sol, err := numeric.SolveGaussSeidel(a, b, c.opts.Solve)
+	if err != nil {
+		return nil, fmt.Errorf("core: until solve: %w", err)
+	}
+	for i, s := range states {
+		x[s] = sol[i]
+	}
+	return x, nil
+}
+
+// untilTimeInterval computes Φ U^[t1,t2] Ψ (t1 > 0, reward unbounded) by
+// the standard two-phase CSL computation: probabilities for the residual
+// until of length t2−t1, then a backward transient sweep of length t1 on
+// the model with ¬Φ made absorbing.
+func (c *Checker) untilTimeInterval(phi, psi *mrm.StateSet, iv logic.Interval) ([]float64, error) {
+	if math.IsInf(iv.Hi, 1) {
+		// Φ U^[t1,∞) Ψ: stay in Φ for t1, then an unbounded until.
+		tail, err := c.untilUnbounded(phi, psi)
+		if err != nil {
+			return nil, err
+		}
+		return c.phaseOne(phi, tail, iv.Lo)
+	}
+	tail, err := transient.TimeBoundedUntil(c.m, phi, psi, iv.Hi-iv.Lo, c.transientOpts())
+	if err != nil {
+		return nil, err
+	}
+	return c.phaseOne(phi, tail, iv.Lo)
+}
+
+// phaseOne performs the first phase of the interval-until computation: a
+// backward sweep of duration t1 on M[¬Φ absorbing] with terminal weights
+// tail masked to Φ-states.
+func (c *Checker) phaseOne(phi *mrm.StateSet, tail []float64, t1 float64) ([]float64, error) {
+	restricted, err := c.m.MakeAbsorbing(phi.Complement(), false)
+	if err != nil {
+		return nil, err
+	}
+	v := make([]float64, c.m.N())
+	phi.Each(func(s int) { v[s] = tail[s] })
+	return transient.BackwardWeighted(restricted, v, t1, c.transientOpts())
+}
+
+// untilRectangle computes Φ U^I_J Ψ for a doubly-bounded until whose
+// intervals do not both start at 0 — the paper's §6 future-work case. On
+// the Theorem 1 reduction, absorption into the goal freezes both the time
+// and the accumulated reward at the first Ψ-hit, so the probability of
+// hitting within the rectangle I×J is the standard two-dimensional
+// difference of the cumulative quantity F(t,r) = Pr{X_t = goal, Y_t ≤ r}:
+//
+//	Pr{τ ∈ (t1,t2], Y_τ ∈ (r1,r2]} = F(t2,r2) − F(t1,r2) − F(t2,r1) + F(t1,r1)
+//
+// This equals the CSRL semantics only when no path can satisfy the until at
+// an instant other than its FIRST Ψ-hit, i.e. when Sat(Φ) ∩ Sat(Ψ) = ∅
+// (otherwise a path may linger in a Φ∧Ψ state into the window); the method
+// therefore rejects overlapping Φ/Ψ. Open/closed boundary differences are
+// null events unless the accumulated reward has an atom on the boundary.
+func (c *Checker) untilRectangle(phi, psi *mrm.StateSet, timeI, rewardJ logic.Interval) ([]float64, error) {
+	if timeI.Lo > 0 || rewardJ.Lo > 0 {
+		if !phi.Intersect(psi).IsEmpty() {
+			return nil, fmt.Errorf("%w: general-interval until requires Sat(Φ)∩Sat(Ψ)=∅ (first-passage reduction)", ErrUnsupported)
+		}
+	}
+	if math.IsInf(timeI.Hi, 1) || math.IsInf(rewardJ.Hi, 1) {
+		return nil, fmt.Errorf("%w: a doubly-bounded general-interval until needs finite upper bounds", ErrUnsupported)
+	}
+	// Lower-bound corner terms are included only when the bound is
+	// strictly positive; a zero lower bound imposes no constraint (beyond
+	// the τ = 0 case of Ψ-start states, patched below).
+	out, err := c.untilTimeReward(phi, psi, timeI.Hi, rewardJ.Hi)
+	if err != nil {
+		return nil, err
+	}
+	subtract := func(vals []float64) {
+		for s := range out {
+			out[s] -= vals[s]
+		}
+	}
+	if timeI.Lo > 0 {
+		f12, err := c.untilTimeReward(phi, psi, timeI.Lo, rewardJ.Hi)
+		if err != nil {
+			return nil, err
+		}
+		subtract(f12)
+	}
+	if rewardJ.Lo > 0 {
+		f21, err := c.untilTimeReward(phi, psi, timeI.Hi, rewardJ.Lo)
+		if err != nil {
+			return nil, err
+		}
+		subtract(f21)
+	}
+	if timeI.Lo > 0 && rewardJ.Lo > 0 {
+		f11, err := c.untilTimeReward(phi, psi, timeI.Lo, rewardJ.Lo)
+		if err != nil {
+			return nil, err
+		}
+		for s := range out {
+			out[s] += f11[s]
+		}
+	}
+	for s := range out {
+		if out[s] < 0 && out[s] > -1e-10 {
+			out[s] = 0
+		}
+	}
+	// States already in Ψ at time 0 satisfy the formula iff 0 ∈ I and
+	// 0 ∈ J; the rectangle difference gives 0 for them (they are absorbed
+	// at τ = 0), so patch them explicitly.
+	psi.Each(func(s int) {
+		out[s] = boolTo01(timeI.Contains(0) && rewardJ.Contains(0))
+	})
+	return out, nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// untilTimeReward implements the P3 procedure: the Theorem 1 reduction
+// followed by the configured Section 4 algorithm on the reduced model.
+func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float64, error) {
+	red, err := mrm.ReduceForUntil(c.m, phi, psi)
+	if err != nil {
+		return nil, err
+	}
+	goal := mrm.NewStateSetOf(red.Model.N(), red.Goal)
+	alg := c.opts.P3
+	if red.Model.HasImpulses() {
+		// Only the discretisation procedure handles impulse rewards
+		// (paper §2.1/§6); the selection is forced rather than failed so
+		// impulse models work out of the box.
+		alg = AlgDiscretise
+	}
+	var values []float64
+	switch alg {
+	case AlgSericola:
+		res, err := sericola.ReachProbAll(red.Model, goal, t, r, sericola.Options{Epsilon: c.opts.Epsilon})
+		if err != nil {
+			return nil, err
+		}
+		values = res.Values
+	case AlgErlang:
+		values, err = erlang.ReachProbAll(red.Model, goal, t, r, erlang.Options{
+			K:         c.opts.ErlangK,
+			Transient: c.transientOpts(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	case AlgDiscretise:
+		d := c.opts.DiscretiseStep
+		if d == 0 {
+			d = c.deriveStep(red.Model, t, r)
+		}
+		values, err = discretise.ReachProbAll(red.Model, goal, t, r, discretise.Options{D: d})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown P3 algorithm %v", c.opts.P3)
+	}
+	out := make([]float64, c.m.N())
+	for s := range out {
+		out[s] = values[red.StateMap[s]]
+	}
+	return out, nil
+}
+
+// deriveStep picks a discretisation step: a power-of-two fraction below
+// 1/(8·max E) that divides both t and r as exactly as floating point
+// allows.
+func (c *Checker) deriveStep(m *mrm.MRM, t, r float64) float64 {
+	var maxE float64
+	for s := 0; s < m.N(); s++ {
+		if e := m.ExitRate(s); e > maxE {
+			maxE = e
+		}
+	}
+	if maxE == 0 {
+		maxE = 1
+	}
+	d := 1.0
+	for d > 1/(8*maxE) {
+		d /= 2
+	}
+	return d
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/duality"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/steady"
+)
+
+func TestValuesOnBoundedAndBooleanFormulas(t *testing.T) {
+	c := New(tinyModel(t), DefaultOptions())
+	// A bounded P-formula still has an underlying value (the bound is
+	// simply not applied).
+	bounded, err := c.Values(logic.MustParse("P>0.5 [ F b ]"))
+	if err != nil {
+		t.Fatalf("Values on bounded formula: %v", err)
+	}
+	query, err := c.Values(logic.MustParse("P=? [ F b ]"))
+	if err != nil {
+		t.Fatalf("Values on query: %v", err)
+	}
+	for s := range query {
+		if bounded[s] != query[s] {
+			t.Errorf("state %d: bounded %v vs query %v", s, bounded[s], query[s])
+		}
+	}
+	// Boolean formulas have no numeric value.
+	if _, err := c.Values(logic.MustParse("a & b")); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Values on boolean formula: %v", err)
+	}
+}
+
+func TestSatRejectsQueryFormula(t *testing.T) {
+	c := New(tinyModel(t), DefaultOptions())
+	if _, err := c.Sat(logic.MustParse("P=? [ F b ]")); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Sat on query: %v", err)
+	}
+	if _, err := c.Sat(logic.MustParse("S=? [ a ]")); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Sat on steady query: %v", err)
+	}
+}
+
+func TestNextRewardLowerBoundOnZeroRewardState(t *testing.T) {
+	// State 2 of tinyModel is absorbing; build a variant where a
+	// zero-reward state has a transition: a positive reward lower bound can
+	// never be met there.
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 3)
+	b.Label(1, "b")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultOptions())
+	vals, err := c.Values(logic.MustParse("P=? [ X{r in [1,2]} b ]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 {
+		t.Errorf("zero-reward state with positive reward lower bound: %v, want 0", vals[0])
+	}
+	// Without the lower bound the constraint is vacuous.
+	vals, err = c.Values(logic.MustParse("P=? [ X{r<=2} b ]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 1 {
+		t.Errorf("vacuous reward bound: %v, want 1", vals[0])
+	}
+}
+
+func TestP2ErrorOnZeroRewardTransient(t *testing.T) {
+	// Reward-bounded until needs the duality transform, which is undefined
+	// for zero-reward non-absorbing states; the error must surface.
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1) // reward 0 with a transition
+	b.Label(1, "goal")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultOptions())
+	if _, err := c.Values(logic.MustParse("P=? [ F{r<=1} goal ]")); !errors.Is(err, duality.ErrZeroReward) {
+		t.Errorf("want ErrZeroReward, got %v", err)
+	}
+}
+
+func TestUnboundedUntilMatchesReachability(t *testing.T) {
+	// With Φ = true, the unbounded until is plain reachability; compare
+	// the checker's linear system against the steady package's
+	// independently written solver on the adhoc-like reduced chain.
+	b := mrm.NewBuilder(5)
+	b.Rate(0, 1, 6).Rate(0, 3, 0.75).Rate(0, 4, 0.75).Rate(0, 2, 12)
+	b.Rate(1, 0, 15).Rate(1, 3, 0.75).Rate(1, 4, 0.75)
+	b.Rate(2, 0, 3.75)
+	b.Label(3, "goal")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultOptions())
+	vals, err := c.Values(logic.MustParse("P=? [ F goal ]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := steady.ReachProbability(m, m.Label("goal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range ref {
+		if math.Abs(vals[s]-ref[s]) > 1e-9 {
+			t.Errorf("state %d: checker %v vs steady %v", s, vals[s], ref[s])
+		}
+	}
+}
+
+func TestCheckRespectsInitialDistribution(t *testing.T) {
+	// A formula that holds in one initial state but not the other: with a
+	// split initial distribution, Check must report false.
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1)
+	b.Label(1, "b")
+	b.InitialProb(0, 0.5).InitialProb(1, 0.5)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultOptions())
+	holds, err := c.Check(logic.MustParse("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("formula b should not hold for a distribution with mass on state 0")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgSericola.String() != "occupation-time" ||
+		AlgErlang.String() != "pseudo-erlang" ||
+		AlgDiscretise.String() != "discretisation" {
+		t.Error("algorithm names changed; Table benchmarks key on them")
+	}
+	if Algorithm(99).String() == "" {
+		t.Error("unknown algorithm must still render")
+	}
+}
+
+func TestUntilTimeLowerBoundOnly(t *testing.T) {
+	// Φ U{t>=t1} Ψ: stay in Φ until t1, then unbounded until. On a chain
+	// with absorbing Ψ and everything in Φ this equals Pr{still possible
+	// at t1} → here the path is always in Φ∪Ψ, so the value is the plain
+	// unbounded until for any t1... unless the trap is hit first.
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 1).Rate(0, 2, 1) // goal vs trap race
+	b.Label(0, "phi").Label(1, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultOptions())
+	vals, err := c.Values(logic.MustParse("P=? [ phi U{t>=1} psi ]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Satisfied iff the first jump happens after t1 AND goes to psi:
+	// Pr = e^{-2·1} · 1/2.
+	want := math.Exp(-2) / 2
+	if math.Abs(vals[0]-want) > 1e-9 {
+		t.Errorf("got %v, want %v", vals[0], want)
+	}
+}

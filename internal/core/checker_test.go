@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/adhoc"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/sim"
+)
+
+// tinyModel is a 3-state chain: 0 --2--> 1 --3--> 2 (absorbing), with
+// rewards 1, 2, 0 and labels a@0, b@1, c@2, ab@{0,1}.
+func tinyModel(t *testing.T) *mrm.MRM {
+	t.Helper()
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 2).Rate(1, 2, 3)
+	b.Reward(0, 1).Reward(1, 2).Reward(2, 0)
+	b.Label(0, "a").Label(1, "b").Label(2, "c")
+	b.Label(0, "ab").Label(1, "ab")
+	b.InitialState(0)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m
+}
+
+func TestSatBoolean(t *testing.T) {
+	c := New(tinyModel(t), DefaultOptions())
+	tests := []struct {
+		give string
+		want []int
+	}{
+		{"true", []int{0, 1, 2}},
+		{"false", nil},
+		{"a", []int{0}},
+		{"a | b", []int{0, 1}},
+		{"ab & !a", []int{1}},
+		{"a => b", []int{1, 2}},
+		{"!(a | b | c)", nil},
+		{"nosuchlabel", nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			sat, err := c.Sat(logic.MustParse(tt.give))
+			if err != nil {
+				t.Fatalf("Sat(%s): %v", tt.give, err)
+			}
+			want := mrm.NewStateSetOf(3, tt.want...)
+			if !sat.Equal(want) {
+				t.Errorf("Sat(%s) = %v, want %v", tt.give, sat, want)
+			}
+		})
+	}
+}
+
+func TestNextClosedForm(t *testing.T) {
+	c := New(tinyModel(t), DefaultOptions())
+	// From state 0 (E=2, ρ=1): X{t<=1} b requires the jump before time 1:
+	// 1 - e^{-2}.
+	vals, err := c.Values(logic.MustParse("P=? [ X{t<=1} b ]"))
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	want := 1 - math.Exp(-2)
+	if math.Abs(vals[0]-want) > 1e-12 {
+		t.Errorf("state 0: got %v, want %v", vals[0], want)
+	}
+	if vals[2] != 0 {
+		t.Errorf("absorbing state has no next: got %v", vals[2])
+	}
+
+	// Reward bound: from state 0, ρ=1, so r<=0.5 caps the jump time at 0.5.
+	vals, err = c.Values(logic.MustParse("P=? [ X{t<=1, r<=0.5} b ]"))
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	want = 1 - math.Exp(-2*0.5)
+	if math.Abs(vals[0]-want) > 1e-12 {
+		t.Errorf("state 0 with reward bound: got %v, want %v", vals[0], want)
+	}
+
+	// General interval (future-work extension): T ∈ [0.5, 1].
+	vals, err = c.Values(logic.MustParse("P=? [ X{t in [0.5,1]} b ]"))
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	want = math.Exp(-2*0.5) - math.Exp(-2*1)
+	if math.Abs(vals[0]-want) > 1e-12 {
+		t.Errorf("state 0 interval: got %v, want %v", vals[0], want)
+	}
+}
+
+func TestUnboundedUntilLinearSystem(t *testing.T) {
+	// Reduced Q3 model: unbounded until probability is exactly 1/2 by the
+	// launch/ring rate symmetry.
+	red, err := adhoc.Q3Reduced()
+	if err != nil {
+		t.Fatalf("Q3Reduced: %v", err)
+	}
+	c := New(red.Model, DefaultOptions())
+	vals, err := c.Values(logic.MustParse("P=? [ F goal ]"))
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	for s := 0; s < 3; s++ { // the three transient states
+		if math.Abs(vals[s]-0.5) > 1e-10 {
+			t.Errorf("state %d: unbounded reach = %v, want 0.5 exactly", s, vals[s])
+		}
+	}
+	if vals[red.Goal] != 1 || vals[red.Fail] != 0 {
+		t.Errorf("goal/fail values = %v/%v, want 1/0", vals[red.Goal], vals[red.Fail])
+	}
+}
+
+func TestQ1Q2Q3OnCaseStudy(t *testing.T) {
+	m, err := adhoc.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	c := New(m, DefaultOptions())
+
+	// Q2: P>0.5 [ F{t<=24} call_incoming ] — time-bounded only.
+	q2 := logic.MustParse("P>0.5 [ F{t<=24} call_incoming ]")
+	holds, err := c.Check(q2)
+	if err != nil {
+		t.Fatalf("Q2: %v", err)
+	}
+	vals, err := c.Values(logic.MustParse("P=? [ F{t<=24} call_incoming ]"))
+	if err != nil {
+		t.Fatalf("Q2 values: %v", err)
+	}
+	t.Logf("Q2 probability from initial state: %0.8f (holds: %v)", vals[0], holds)
+	if !holds {
+		t.Errorf("Q2 should hold: a ring arrives within 24h with prob %0.4f", vals[0])
+	}
+	// Cross-check by simulation.
+	s := sim.New(m, 3)
+	est, err := s.UntilProb(0, mrm.NewStateSet(m.N()).Complement(), m.Label("call_incoming"), 24, math.Inf(1), 100_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if math.Abs(est.Value-vals[0]) > est.HalfWidth+1e-3 {
+		t.Errorf("Q2 simulation %v vs numeric %0.6f", est, vals[0])
+	}
+
+	// Q1: P>0.5 [ F{r<=600} call_incoming ] — reward-bounded via duality.
+	q1vals, err := c.Values(logic.MustParse("P=? [ F{r<=600} call_incoming ]"))
+	if err != nil {
+		t.Fatalf("Q1: %v", err)
+	}
+	t.Logf("Q1 probability from initial state: %0.8f", q1vals[0])
+	estR, err := s.UntilProb(0, mrm.NewStateSet(m.N()).Complement(), m.Label("call_incoming"), math.Inf(1), 600, 100_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if math.Abs(estR.Value-q1vals[0]) > estR.HalfWidth+1e-3 {
+		t.Errorf("Q1 simulation %v vs numeric %0.6f", estR, q1vals[0])
+	}
+
+	// Q3 with the three procedures through the full checker pipeline.
+	q3query := logic.MustParse("P=? [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]")
+	for _, alg := range []Algorithm{AlgSericola, AlgErlang, AlgDiscretise} {
+		opts := DefaultOptions()
+		opts.P3 = alg
+		opts.ErlangK = 1024
+		opts.DiscretiseStep = 1.0 / 64
+		cc := New(m, opts)
+		vals, err := cc.Values(q3query)
+		if err != nil {
+			t.Fatalf("Q3 with %v: %v", alg, err)
+		}
+		t.Logf("Q3 via %v: %0.8f", alg, vals[0])
+		tol := 2e-4
+		if alg == AlgSericola {
+			tol = 1e-7
+		}
+		if math.Abs(vals[0]-adhoc.Q3TextValue) > tol {
+			t.Errorf("Q3 via %v = %0.8f, want %0.8f ± %g", alg, vals[0], adhoc.Q3TextValue, tol)
+		}
+		// The decision: P>0.5 does NOT hold (the paper's point: the value
+		// is just below one half).
+		q3 := logic.MustParse("P>0.5 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]")
+		holds, err := cc.Check(q3)
+		if err != nil {
+			t.Fatalf("Q3 check: %v", err)
+		}
+		if holds {
+			t.Errorf("Q3 should not hold at bound 0.5 (value %0.6f)", vals[0])
+		}
+	}
+}
+
+func TestTimeIntervalUntil(t *testing.T) {
+	m := tinyModel(t)
+	c := New(m, DefaultOptions())
+	// From state 0: ab U{t in [t1,t2]} c. The absorption time into c is
+	// T0+T1 with T0~Exp(2), T1~Exp(3) (hypoexponential). A path absorbed
+	// strictly before t1 does NOT satisfy the formula: at instants between
+	// absorption and t1 it resides in c ∉ Sat(ab), violating the prefix
+	// condition. Hence Pr = Pr{T0+T1 ∈ [t1, t2]} = CDF(t2) − CDF(t1).
+	t1, t2 := 0.5, 2.0
+	vals, err := c.Values(logic.MustParse("P=? [ ab U{t in [0.5,2]} c ]"))
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	cdf := func(x float64) float64 {
+		return 1 - 3*math.Exp(-2*x) + 2*math.Exp(-3*x)
+	}
+	want := cdf(t2) - cdf(t1)
+	if math.Abs(vals[0]-want) > 1e-9 {
+		t.Errorf("interval until from 0: got %v, want %v", vals[0], want)
+	}
+	// Simulation cross-check: with absorbing c the interval probability is
+	// the difference of two prefix-until estimates.
+	s := sim.New(m, 11)
+	estHi, err := s.UntilProb(0, m.Label("ab"), m.Label("c"), t2, math.Inf(1), 100_000)
+	if err != nil {
+		t.Fatalf("sim t2: %v", err)
+	}
+	estLo, err := s.UntilProb(0, m.Label("ab"), m.Label("c"), t1, math.Inf(1), 100_000)
+	if err != nil {
+		t.Fatalf("sim t1: %v", err)
+	}
+	got := estHi.Value - estLo.Value
+	hw := estHi.HalfWidth + estLo.HalfWidth
+	if math.Abs(got-want) > hw+1e-3 {
+		t.Errorf("simulation %v±%v vs analytic %v", got, hw, want)
+	}
+}
+
+func TestUnsupportedFragments(t *testing.T) {
+	c := New(tinyModel(t), DefaultOptions())
+	for _, give := range []string{
+		// Doubly-bounded general-interval until needs finite upper bounds.
+		"P>0.1 [ a U{t>=1, r<=2} b ]",
+		// First-passage reduction requires Sat(Φ)∩Sat(Ψ)=∅; "ab" overlaps b.
+		"P>0.1 [ ab U{t in [1,2], r<=2} b ]",
+	} {
+		_, err := c.Sat(logic.MustParse(give))
+		if !errors.Is(err, ErrUnsupported) {
+			t.Errorf("Sat(%s): err = %v, want ErrUnsupported", give, err)
+		}
+	}
+}
+
+// TestGeneralIntervalUntil exercises the paper's §6 future-work extension:
+// time and reward intervals that do not start at 0, validated against the
+// exact-semantics Monte-Carlo estimator.
+func TestGeneralIntervalUntil(t *testing.T) {
+	// A richer model: 0 and 1 cycle (both Φ), absorbing goal 2 and trap 3.
+	b := mrm.NewBuilder(4)
+	b.Rate(0, 1, 2).Rate(1, 0, 1).Rate(0, 2, 0.7).Rate(1, 2, 0.4).Rate(1, 3, 0.3)
+	b.Reward(0, 1).Reward(1, 3)
+	b.Label(0, "phi").Label(1, "phi").Label(2, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultOptions())
+	s := sim.New(m, 20260706)
+	phi, psi := m.Label("phi"), m.Label("psi")
+
+	cases := []struct {
+		name           string
+		formula        string
+		t1, t2, r1, r2 float64
+	}{
+		{"time-and-reward rectangle", "P=? [ phi U{t in [0.5,3], r in [1,4]} psi ]", 0.5, 3, 1, 4},
+		{"time interval, reward bound", "P=? [ phi U{t in [0.5,3], r<=4} psi ]", 0.5, 3, 0, 4},
+		{"time bound, reward interval", "P=? [ phi U{t<=3, r in [1,4]} psi ]", 0, 3, 1, 4},
+		{"reward interval only (duality)", "P=? [ phi U{r in [1,4]} psi ]", 0, math.Inf(1), 1, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals, err := c.Values(logic.MustParse(tc.formula))
+			if err != nil {
+				t.Fatalf("Values: %v", err)
+			}
+			est, err := s.UntilProbInterval(0, phi, psi,
+				sim.Window{Lo: tc.t1, Hi: tc.t2}, sim.Window{Lo: tc.r1, Hi: tc.r2}, 200_000)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			t.Logf("%s: numeric %.6f, simulated %v", tc.formula, vals[0], est)
+			if math.Abs(vals[0]-est.Value) > est.HalfWidth+2e-3 {
+				t.Errorf("numeric %.6f incompatible with simulation %v", vals[0], est)
+			}
+		})
+	}
+}
+
+// TestRectangleConsistency: the rectangle method at degenerate lower
+// bounds must coincide with the plain doubly-bounded until.
+func TestRectangleConsistency(t *testing.T) {
+	b := mrm.NewBuilder(4)
+	b.Rate(0, 1, 2).Rate(1, 0, 1).Rate(0, 2, 0.7).Rate(1, 2, 0.4).Rate(1, 3, 0.3)
+	b.Reward(0, 1).Reward(1, 3)
+	b.Label(0, "phi").Label(1, "phi").Label(2, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultOptions())
+	plain, err := c.Values(logic.MustParse("P=? [ phi U{t<=3, r<=4} psi ]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRect, err := c.Values(logic.MustParse("P=? [ phi U{t in [0,3], r in [0,4]} psi ]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range plain {
+		if math.Abs(plain[s]-viaRect[s]) > 1e-9 {
+			t.Errorf("state %d: plain %v vs rectangle %v", s, plain[s], viaRect[s])
+		}
+	}
+}
+
+func TestNestedFormula(t *testing.T) {
+	// Nesting state and path formulas (paper §2.4 example shape):
+	// P>0 [ F{t<=5} (P>0.9 [ X c ]) ] — states from which, within 5 time
+	// units, a state is reachable whose next transition surely hits c.
+	m := tinyModel(t)
+	c := New(m, DefaultOptions())
+	// Sat(P>0.9 [X c]) = {1} (state 1 jumps to c with probability 1).
+	inner, err := c.Sat(logic.MustParse("P>0.9 [ X c ]"))
+	if err != nil {
+		t.Fatalf("inner: %v", err)
+	}
+	if !inner.Equal(mrm.NewStateSetOf(3, 1)) {
+		t.Fatalf("Sat(P>0.9[X c]) = %v, want {1}", inner)
+	}
+	sat, err := c.Sat(logic.MustParse("P>0 [ F{t<=5} (P>0.9 [ X c ]) ]"))
+	if err != nil {
+		t.Fatalf("outer: %v", err)
+	}
+	if !sat.Contains(0) || !sat.Contains(1) || sat.Contains(2) {
+		t.Errorf("nested Sat = %v, want {0,1}", sat)
+	}
+}
+
+func TestSteadyOperator(t *testing.T) {
+	// Two-state repair model: up --1--> down --10--> up.
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1).Rate(1, 0, 10)
+	b.Label(0, "up").Label(1, "down")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	c := New(m, DefaultOptions())
+	vals, err := c.Values(logic.MustParse("S=? [ up ]"))
+	if err != nil {
+		t.Fatalf("S=?: %v", err)
+	}
+	want := 10.0 / 11.0
+	for s, v := range vals {
+		if math.Abs(v-want) > 1e-10 {
+			t.Errorf("steady from %d: %v, want %v", s, v, want)
+		}
+	}
+	sat, err := c.Sat(logic.MustParse("S>=0.9 [ up ]"))
+	if err != nil {
+		t.Fatalf("S>=0.9: %v", err)
+	}
+	if sat.Len() != 2 {
+		t.Errorf("S>=0.9[up] should hold in both states, got %v", sat)
+	}
+}

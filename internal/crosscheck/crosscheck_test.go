@@ -1,0 +1,258 @@
+// Package crosscheck contains the implementation-independent validation of
+// the three Section 4 procedures against each other and against Monte-Carlo
+// simulation on randomised Markov reward models. Agreement of four
+// independently implemented methods on random instances is the repository's
+// main defence against a systematic error in any one recursion.
+package crosscheck
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/performability/csrl/internal/discretise"
+	"github.com/performability/csrl/internal/duality"
+	"github.com/performability/csrl/internal/erlang"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/sericola"
+	"github.com/performability/csrl/internal/sim"
+	"github.com/performability/csrl/internal/transient"
+)
+
+// randomMRM builds a random MRM with integer rewards (so the discretisation
+// procedure applies without scaling) and a couple of absorbing zero-reward
+// goal states, mimicking the structure produced by the Theorem 1 reduction.
+func randomMRM(rng *rand.Rand, n int) (*mrm.MRM, *mrm.StateSet) {
+	b := mrm.NewBuilder(n)
+	goal := mrm.NewStateSetOf(n, n-1)
+	b.Label(n-1, "goal")
+	// n-2 is an absorbing "fail" state; 0..n-3 are transient.
+	for s := 0; s < n-2; s++ {
+		b.Reward(s, float64(1+rng.Intn(5)))
+		// Outgoing transitions: to goal, fail and 1–2 other states.
+		b.Rate(s, n-1, 0.2+2*rng.Float64())
+		b.Rate(s, n-2, 0.2+2*rng.Float64())
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			to := rng.Intn(n - 2)
+			if to != s {
+				b.Rate(s, to, 0.5+3*rng.Float64())
+			}
+		}
+	}
+	b.InitialState(0)
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m, goal
+}
+
+func TestProceduresAgreeOnRandomModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation sweep is slow")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(4)
+		m, goal := randomMRM(rng, n)
+		// Time and reward bounds chosen so neither constraint is vacuous.
+		tb := 0.5 + 2*rng.Float64()
+		maxR := m.MaxReward() * tb
+		rb := math.Ceil((0.2 + 0.6*rng.Float64()) * maxR) // integer multiple-friendly
+
+		res, err := sericola.ReachProbAll(m, goal, tb, rb, sericola.Options{Epsilon: 1e-10})
+		if err != nil {
+			t.Fatalf("trial %d: sericola: %v", trial, err)
+		}
+		ser := res.Values[0]
+
+		erl, err := erlang.ReachProb(m, goal, tb, rb, erlang.Options{K: 4096})
+		if err != nil {
+			t.Fatalf("trial %d: erlang: %v", trial, err)
+		}
+
+		// Step dividing both tb and rb: rb is integral; pick d = tb/2048.
+		d := tb / 2048
+		// rb/d must be integral: rescale d so that it divides rb exactly.
+		steps := math.Round(rb / d)
+		d = rb / steps
+		tSteps := math.Round(tb / d)
+		tbAdj := d * tSteps // discretisation evaluates at the grid point
+		dis, err := discretise.ReachProb(m, goal, tbAdj, rb, 0, discretise.Options{D: d})
+		if err != nil {
+			t.Fatalf("trial %d: discretise: %v", trial, err)
+		}
+
+		s := sim.New(m, int64(1000+trial))
+		est, err := s.ReachProb(0, goal, tb, rb, 60_000)
+		if err != nil {
+			t.Fatalf("trial %d: sim: %v", trial, err)
+		}
+
+		t.Logf("trial %d (n=%d, t=%.3f, r=%.0f): sericola=%.6f erlang=%.6f discretise=%.6f sim=%v",
+			trial, n, tb, rb, ser, erl, dis, est)
+
+		if math.Abs(erl-ser) > 2e-3 {
+			t.Errorf("trial %d: erlang %v vs sericola %v", trial, erl, ser)
+		}
+		if math.Abs(dis-ser) > 5e-3 {
+			t.Errorf("trial %d: discretise %v vs sericola %v", trial, dis, ser)
+		}
+		if math.Abs(est.Value-ser) > est.HalfWidth+2e-3 {
+			t.Errorf("trial %d: sim %v vs sericola %v", trial, est, ser)
+		}
+	}
+}
+
+func TestVacuousRewardBoundReducesToTransient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, goal := randomMRM(rng, 6)
+	tb := 1.5
+	// r above the maximal accumulable reward: the constraint is vacuous.
+	rb := m.MaxReward()*tb + 10
+	res, err := sericola.ReachProbAll(m, goal, tb, rb, sericola.Options{Epsilon: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := transient.ReachProbAll(m, goal, tb, transient.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range ref {
+		if math.Abs(res.Values[s]-ref[s]) > 1e-8 {
+			t.Errorf("state %d: %v vs transient %v", s, res.Values[s], ref[s])
+		}
+	}
+	// The Erlang procedure must converge to the same thing.
+	erl, err := erlang.ReachProbAll(m, goal, tb, rb, erlang.Options{K: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range ref {
+		if math.Abs(erl[s]-ref[s]) > 1e-3 {
+			t.Errorf("erlang state %d: %v vs transient %v", s, erl[s], ref[s])
+		}
+	}
+}
+
+func TestImpossibleRewardBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, goal := randomMRM(rng, 5)
+	// Every transient state earns ≥ 1 per time unit and the initial state
+	// is transient, so Y_t ≥ min over paths > 0... with r = 0 the
+	// probability of {Y_t ≤ 0, X_t ∈ goal} is 0.
+	res, err := sericola.ReachProbAll(m, goal, 2, 0, sericola.Options{Epsilon: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != 0 {
+		t.Errorf("P{Y≤0} from rewarded state = %v, want 0", res.Values[0])
+	}
+}
+
+func TestDualityRoundTrip(t *testing.T) {
+	// Dual of the dual is the original (on a positive-reward model).
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 2).Rate(1, 2, 3).Rate(1, 0, 1)
+	b.Reward(0, 2).Reward(1, 4).Reward(2, 1)
+	b.Label(2, "goal")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := duality.Dual(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := duality.Dual(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		if math.Abs(dd.Reward(s)-m.Reward(s)) > 1e-12 {
+			t.Errorf("reward(%d): %v vs %v", s, dd.Reward(s), m.Reward(s))
+		}
+		for tgt := 0; tgt < 3; tgt++ {
+			if math.Abs(dd.Rates().At(s, tgt)-m.Rates().At(s, tgt)) > 1e-12 {
+				t.Errorf("rate(%d,%d): %v vs %v", s, tgt, dd.Rates().At(s, tgt), m.Rates().At(s, tgt))
+			}
+		}
+	}
+}
+
+func TestDualityRewardBoundedUntilMatchesSimulation(t *testing.T) {
+	// P2-type property checked through the duality transformation against
+	// a direct path-semantics Monte-Carlo estimate.
+	b := mrm.NewBuilder(4)
+	b.Rate(0, 1, 1).Rate(1, 0, 2).Rate(0, 2, 0.5).Rate(1, 3, 0.8)
+	b.Reward(0, 1).Reward(1, 3).Reward(2, 2).Reward(3, 1)
+	b.Label(0, "phi").Label(1, "phi").Label(3, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := m.Label("phi")
+	psi := m.Label("psi")
+	const rBound = 4.0
+	vals, err := duality.RewardBoundedUntil(m, phi, psi, rBound,
+		func(d *mrm.MRM, phi, psi *mrm.StateSet, tb float64) ([]float64, error) {
+			return transient.TimeBoundedUntil(d, phi, psi, tb, transient.DefaultOptions())
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(m, 99)
+	est, err := s.UntilProb(0, phi, psi, math.Inf(1), rBound, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("duality: %.6f, simulation: %v", vals[0], est)
+	if math.Abs(vals[0]-est.Value) > est.HalfWidth+1e-3 {
+		t.Errorf("duality %v vs simulation %v", vals[0], est)
+	}
+}
+
+func TestDualityRejectsZeroRewardNonAbsorbing(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1)
+	// State 0 has reward 0 and a transition: duality undefined.
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := duality.Dual(m); err == nil {
+		t.Error("zero-reward non-absorbing state accepted")
+	}
+}
+
+// TestSericolaIntervalAvailability exercises the classical 0/1-reward
+// special case (Rubino–Sericola interval availability): a two-state
+// up/down model where the distribution of up-time can be cross-checked
+// against simulation at several reward levels.
+func TestSericolaIntervalAvailability(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1).Rate(1, 0, 4)
+	b.Reward(0, 1).Reward(1, 0)
+	b.Label(0, "up")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := mrm.NewStateSet(2).Complement()
+	s := sim.New(m, 5)
+	for _, frac := range []float64{0.25, 0.5, 0.75, 0.9} {
+		tb := 4.0
+		rb := frac * tb
+		res, err := sericola.ReachProbAll(m, all, tb, rb, sericola.Options{Epsilon: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := s.ReachProb(0, all, tb, rb, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Values[0]-est.Value) > est.HalfWidth+2e-3 {
+			t.Errorf("frac=%v: sericola %v vs sim %v", frac, res.Values[0], est)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package crosscheck
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/core"
+	"github.com/performability/csrl/internal/duality"
+	"github.com/performability/csrl/internal/erlang"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/sericola"
+	"github.com/performability/csrl/internal/sim"
+)
+
+// impulseModel: a Φ-cycle {0,1} with absorbing goal 2 and trap 3, integer
+// state rewards and impulses on two transitions.
+func impulseModel(t *testing.T) *mrm.MRM {
+	t.Helper()
+	b := mrm.NewBuilder(4)
+	b.Rate(0, 1, 2).Rate(1, 0, 1).Rate(0, 2, 0.7).Rate(1, 2, 0.4).Rate(1, 3, 0.3)
+	b.Reward(0, 1).Reward(1, 3)
+	b.Impulse(0, 1, 0.5) // paying for the handover
+	b.Impulse(1, 2, 1)   // and for the final connection
+	b.Label(0, "phi").Label(1, "phi").Label(2, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m
+}
+
+func TestImpulseUntilMatchesSimulation(t *testing.T) {
+	m := impulseModel(t)
+	// The checker must silently route to the discretisation procedure.
+	c := core.New(m, core.DefaultOptions())
+	f := logic.MustParse("P=? [ phi U{t<=3, r<=4} psi ]")
+	vals, err := c.Values(f)
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	s := sim.New(m, 31)
+	est, err := s.UntilProb(0, m.Label("phi"), m.Label("psi"), 3, 4, 300_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	t.Logf("impulse until: numeric %.6f, simulated %v", vals[0], est)
+	if math.Abs(vals[0]-est.Value) > est.HalfWidth+3e-3 {
+		t.Errorf("numeric %.6f incompatible with simulation %v", vals[0], est)
+	}
+	// Impulses must make a real difference: the impulse-free model gives a
+	// strictly larger probability (less reward spent per path).
+	b := mrm.NewBuilder(4)
+	b.Rate(0, 1, 2).Rate(1, 0, 1).Rate(0, 2, 0.7).Rate(1, 2, 0.4).Rate(1, 3, 0.3)
+	b.Reward(0, 1).Reward(1, 3)
+	b.Label(0, "phi").Label(1, "phi").Label(2, "psi")
+	plain, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := core.New(plain, core.DefaultOptions())
+	pvals, err := cp.Values(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pvals[0] > vals[0]+1e-3) {
+		t.Errorf("impulse-free %v should clearly exceed impulse-laden %v", pvals[0], vals[0])
+	}
+}
+
+func TestImpulseRejectionByOtherProcedures(t *testing.T) {
+	m := impulseModel(t)
+	goal := m.Label("psi")
+	if _, err := sericola.ReachProbAll(m, goal, 1, 1, sericola.Options{}); !errors.Is(err, mrm.ErrImpulsesUnsupported) {
+		t.Errorf("sericola: %v", err)
+	}
+	if _, err := erlang.ReachProbAll(m, goal, 1, 1, erlang.Options{K: 4}); !errors.Is(err, mrm.ErrImpulsesUnsupported) {
+		t.Errorf("erlang: %v", err)
+	}
+	if _, err := duality.Dual(m); !errors.Is(err, mrm.ErrImpulsesUnsupported) {
+		t.Errorf("duality: %v", err)
+	}
+}
+
+func TestImpulsePreservedThroughReduction(t *testing.T) {
+	m := impulseModel(t)
+	red, err := mrm.ReduceForUntil(m, m.Label("phi"), m.Label("psi"))
+	if err != nil {
+		t.Fatalf("reduce: %v", err)
+	}
+	if !red.Model.HasImpulses() {
+		t.Fatal("reduction dropped the impulses")
+	}
+	// The transient-to-transient impulse survives one-to-one.
+	if got := red.Model.Impulse(red.StateMap[0], red.StateMap[1]); got != 0.5 {
+		t.Errorf("ι(0,1) = %v, want 0.5", got)
+	}
+	// The impulse into the goal survives on the amalgamated transition.
+	if got := red.Model.Impulse(red.StateMap[1], red.Goal); got != 1 {
+		t.Errorf("ι(1,goal) = %v, want 1", got)
+	}
+}
+
+func TestReductionRejectsConflictingGoalImpulses(t *testing.T) {
+	// Two Ψ-states reached from the same state with different impulses
+	// cannot be amalgamated.
+	b := mrm.NewBuilder(4)
+	b.Rate(0, 1, 1).Rate(0, 2, 1).Rate(0, 3, 1)
+	b.Reward(0, 1)
+	b.Impulse(0, 1, 2)
+	b.Impulse(0, 2, 3)
+	b.Label(0, "phi").Label(1, "psi").Label(2, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mrm.ReduceForUntil(m, m.Label("phi"), m.Label("psi")); err == nil {
+		t.Error("conflicting goal impulses accepted by amalgamation")
+	}
+}
+
+func TestImpulseOnRatelessTransitionRejected(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1)
+	b.Impulse(1, 0, 5) // no rate 1→0
+	if _, err := b.Build(); err == nil {
+		t.Error("impulse without a transition accepted")
+	}
+}

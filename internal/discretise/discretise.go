@@ -1,0 +1,239 @@
+// Package discretise implements the Tijms–Veldman discretisation method of
+// Section 4.3 of the paper (H.C. Tijms, R. Veldman, "A fast algorithm for
+// the transient reward distribution in continuous-time Markov chains",
+// Oper. Res. Lett. 26, 2000), a generalisation of Goyal–Tantawi. Both time
+// and accumulated reward are discretised in multiples of the same step d;
+// the joint density F^j(s,k) of being in state s at time j·d with
+// accumulated reward k·d is computed by the recursion
+//
+//	F^{j+1}(s,k) = F^j(s, k−ρ(s))·(1−E(s)·d) +
+//	               Σ_{s'} F^j(s', k−ρ(s'))·R(s',s)·d
+//
+// which requires natural-number reward rates (rational rewards can be
+// scaled; see ScaleRewards). The method has no a-priori error bound; its
+// cost grows as d⁻² (Table 4).
+package discretise
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// Options configures the discretisation.
+type Options struct {
+	// D is the discretisation step for both time and accumulated reward.
+	// It must satisfy d ≤ 1/max_s E(s) so that 1−E(s)·d stays a
+	// probability, and should be small enough that the probability of two
+	// transitions within d is negligible (the method's error source).
+	D float64
+	// Impulses optionally assigns impulse (transition) rewards: entry
+	// (s,s') is the reward earned instantaneously when the transition
+	// s→s' fires, in the same unit as the state rewards. Impulse rewards
+	// must be multiples of the step D. This is the paper's future-work
+	// extension, which the Tijms–Veldman scheme supports directly.
+	Impulses *sparse.CSR
+	// AllowCoarse permits steps d > 1/max_s E(s), for which the "stay"
+	// factor 1−E(s)·d of some state is negative. The recursion is then no
+	// longer a probability scheme but remains a (poorer) first-order
+	// approximation; the paper's Table 4 contains such a row (d = 1/16
+	// with max E(s) = 19.5), so reproduction needs this escape hatch.
+	AllowCoarse bool
+}
+
+var (
+	// ErrStep reports an invalid discretisation step.
+	ErrStep = errors.New("discretise: invalid step")
+	// ErrRewards reports non-natural reward rates.
+	ErrRewards = errors.New("discretise: rewards must be natural numbers (use ScaleRewards)")
+)
+
+const intTol = 1e-9
+
+func asNatural(v float64) (int, bool) {
+	r := math.Round(v)
+	if r < 0 || math.Abs(v-r) > intTol*(1+math.Abs(v)) {
+		return 0, false
+	}
+	return int(r), true
+}
+
+// ScaleRewards returns a copy of the model whose rewards are multiplied by
+// factor, together with the scaled reward bound. Use it to turn rational
+// rewards into the natural numbers the recursion requires; the reachability
+// probability is invariant under simultaneous scaling of ρ and r.
+func ScaleRewards(m *mrm.MRM, r, factor float64) (*mrm.MRM, float64, error) {
+	if factor <= 0 {
+		return nil, 0, fmt.Errorf("discretise: scale factor %v must be positive", factor)
+	}
+	b := mrm.NewBuilder(m.N())
+	for s := 0; s < m.N(); s++ {
+		b.Name(s, m.Name(s))
+		b.Reward(s, m.Reward(s)*factor)
+		m.Rates().Row(s, func(t int, v float64) {
+			if v != 0 {
+				b.Rate(s, t, v)
+			}
+		})
+		for _, a := range m.Labels() {
+			if m.HasLabel(s, a) {
+				b.Label(s, a)
+			}
+		}
+	}
+	for s, p := range m.Init() {
+		if p > 0 {
+			b.InitialProb(s, p)
+		}
+	}
+	scaled, err := b.Build()
+	if err != nil {
+		return nil, 0, fmt.Errorf("discretise: scale rewards: %w", err)
+	}
+	return scaled, r * factor, nil
+}
+
+// ReachProb computes the Theorem 2 quantity Pr{Y_t ≤ r, X_t ∈ goal}
+// starting from the single initial state `from`, by the Tijms–Veldman
+// recursion with step opts.D. t and r must be (near-)multiples of d.
+func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Options) (float64, error) {
+	n := m.N()
+	if from < 0 || from >= n {
+		return 0, fmt.Errorf("discretise: initial state %d out of range", from)
+	}
+	if goal.Universe() != n {
+		return 0, fmt.Errorf("discretise: goal universe %d for %d states", goal.Universe(), n)
+	}
+	d := opts.D
+	if d <= 0 {
+		return 0, fmt.Errorf("%w: d=%v", ErrStep, d)
+	}
+	if t <= 0 || r <= 0 {
+		return 0, fmt.Errorf("discretise: bounds t=%v r=%v must be positive", t, r)
+	}
+	T, okT := asNatural(t / d)
+	R, okR := asNatural(r / d)
+	if !okT || !okR || T == 0 || R == 0 {
+		return 0, fmt.Errorf("%w: t/d=%v and r/d=%v must be positive integers", ErrStep, t/d, r/d)
+	}
+
+	rho := make([]int, n)
+	for s := 0; s < n; s++ {
+		v, ok := asNatural(m.Reward(s))
+		if !ok {
+			return 0, fmt.Errorf("%w: ρ(%d)=%v", ErrRewards, s, m.Reward(s))
+		}
+		rho[s] = v
+		if m.ExitRate(s)*d > 1 && !opts.AllowCoarse {
+			return 0, fmt.Errorf("%w: d=%v exceeds 1/E(%d)=%v (set AllowCoarse to force)", ErrStep, d, s, 1/m.ExitRate(s))
+		}
+	}
+
+	// Impulse rewards: an explicit option overrides the model's own
+	// impulse matrix. A state reward ρ(s) advances the reward
+	// index by ρ(s) per time step (reward ρ(s)·d earned in a step of size
+	// d), whereas an impulse ι is a one-off quantity: its index shift is
+	// ι/d, which must therefore be integral.
+	impulseMat := opts.Impulses
+	if impulseMat == nil {
+		impulseMat = m.Impulses()
+	}
+	var impulse map[[2]int]int
+	if impulseMat != nil {
+		if impulseMat.Dim() != n {
+			return 0, fmt.Errorf("discretise: impulse matrix dimension %d for %d states", impulseMat.Dim(), n)
+		}
+		impulse = make(map[[2]int]int)
+		var impErr error
+		impulseMat.Each(func(i, j int, v float64) {
+			k, ok := asNatural(v / d)
+			if !ok {
+				impErr = fmt.Errorf("%w: impulse ι(%d,%d)=%v is not a multiple of d=%v", ErrRewards, i, j, v, d)
+				return
+			}
+			if k != 0 {
+				impulse[[2]int{i, j}] = k
+			}
+		})
+		if impErr != nil {
+			return 0, impErr
+		}
+	}
+
+	// Transposed rates: for target s we need the incoming transitions.
+	rt := m.Rates().Transpose()
+	stay := make([]float64, n)
+	for s := 0; s < n; s++ {
+		stay[s] = 1 - m.ExitRate(s)*d
+	}
+
+	// F[s][k], k = 0..R. F is a density in the reward dimension (1/d
+	// scaling), exactly as in the paper.
+	cur := make([][]float64, n)
+	next := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		cur[s] = make([]float64, R+1)
+		next[s] = make([]float64, R+1)
+	}
+	if rho[from] <= R {
+		cur[from][rho[from]] = 1 / d
+	}
+	// If the very first step already exceeds the reward bound, the mass is
+	// absorbed by the barrier immediately and the probability is 0.
+
+	for j := 1; j < T; j++ {
+		for s := 0; s < n; s++ {
+			fs := next[s]
+			shift := rho[s]
+			sStay := stay[s]
+			curS := cur[s]
+			for k := 0; k <= R; k++ {
+				var v float64
+				if k >= shift {
+					v = curS[k-shift] * sStay
+				}
+				fs[k] = v
+			}
+			rt.Row(s, func(src int, rate float64) {
+				w := rate * d
+				shiftSrc := rho[src]
+				if impulse != nil {
+					if imp, ok := impulse[[2]int{src, s}]; ok {
+						shiftSrc += imp
+					}
+				}
+				curSrc := cur[src]
+				for k := shiftSrc; k <= R; k++ {
+					fs[k] += curSrc[k-shiftSrc] * w
+				}
+			})
+		}
+		cur, next = next, cur
+	}
+
+	var sum float64
+	goal.Each(func(s int) {
+		for k := 0; k <= R; k++ {
+			sum += cur[s][k]
+		}
+	})
+	return sum * d, nil
+}
+
+// ReachProbAll runs ReachProb from every state. Because the recursion is a
+// forward propagation from a point mass, this costs |S| independent runs;
+// it exists for API parity with the other procedures and for small models.
+func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) ([]float64, error) {
+	out := make([]float64, m.N())
+	for s := 0; s < m.N(); s++ {
+		v, err := ReachProb(m, goal, t, r, s, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+// Package duality implements the time/reward duality transformation of
+// [Baier, Haverkort, Katoen, Hermanns, "On the logical specification of
+// performability properties", Theorem 1] that the paper uses for P2-type
+// (reward-bounded, time-unbounded) properties: a residence of x time units
+// in state s of the dual model M̄ corresponds to earning reward x in s of M,
+// and vice versa. Concretely R̄(s,s') = R(s,s')/ρ(s) and ρ̄(s) = 1/ρ(s).
+// The transformation requires strictly positive rewards.
+package duality
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/performability/csrl/internal/mrm"
+)
+
+// ErrZeroReward reports that the dual model is undefined because some state
+// has reward zero. (The duality of [4] is stated for positive reward
+// structures; zero-reward states would need infinite rates.)
+var ErrZeroReward = errors.New("duality: model has a zero-reward state")
+
+// Dual returns the dual MRM M̄ of m. Applying Dual twice yields a model
+// equal to the original (up to floating-point rounding).
+func Dual(m *mrm.MRM) (*mrm.MRM, error) {
+	n := m.N()
+	if m.HasImpulses() {
+		return nil, fmt.Errorf("duality: %w", mrm.ErrImpulsesUnsupported)
+	}
+	for s := 0; s < n; s++ {
+		if m.Reward(s) == 0 && !m.IsAbsorbing(s) {
+			return nil, fmt.Errorf("%w: state %d (%s)", ErrZeroReward, s, m.Name(s))
+		}
+	}
+	b := mrm.NewBuilder(n)
+	for s := 0; s < n; s++ {
+		rho := m.Reward(s)
+		b.Name(s, m.Name(s))
+		if rho > 0 {
+			b.Reward(s, 1/rho)
+			m.Rates().Row(s, func(t int, v float64) {
+				if v != 0 {
+					b.Rate(s, t, v/rho)
+				}
+			})
+		} else {
+			// Absorbing zero-reward state: it stays absorbing in the dual
+			// and accumulates no reward there either (reward 0 kept).
+			b.Reward(s, 0)
+		}
+		for _, a := range m.Labels() {
+			if m.HasLabel(s, a) {
+				b.Label(s, a)
+			}
+		}
+	}
+	init := m.Init()
+	for s, p := range init {
+		if p > 0 {
+			b.InitialProb(s, p)
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("duality: %w", err)
+	}
+	return d, nil
+}
+
+// RewardBoundedUntil computes Pr_s{Φ U_{≤r} Ψ} (reward bound only, time
+// unbounded) for every state s via the duality transformation: the property
+// is checked as a time-bounded until with bound r on the dual model
+// (paper §3, P2 procedure). The timeBounded callback is the P1 procedure to
+// run on the dual model; injecting it avoids an import cycle and lets tests
+// substitute reference implementations.
+func RewardBoundedUntil(
+	m *mrm.MRM,
+	phi, psi *mrm.StateSet,
+	r float64,
+	timeBounded func(dual *mrm.MRM, phi, psi *mrm.StateSet, t float64) ([]float64, error),
+) ([]float64, error) {
+	d, err := Dual(m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := timeBounded(d, phi, psi, r)
+	if err != nil {
+		return nil, fmt.Errorf("duality: dual time-bounded until: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package duality
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/transient"
+)
+
+func model(t *testing.T) *mrm.MRM {
+	t.Helper()
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 4).Rate(1, 2, 6).Rate(1, 0, 2)
+	b.Reward(0, 2).Reward(1, 0.5).Reward(2, 1)
+	b.Label(0, "x").Label(1, "y").Label(2, "x")
+	b.InitialProb(0, 0.25).InitialProb(1, 0.75)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m
+}
+
+func TestDualRatesAndRewards(t *testing.T) {
+	m := model(t)
+	d, err := Dual(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R̄(s,s') = R(s,s')/ρ(s); ρ̄(s) = 1/ρ(s).
+	if got := d.Rates().At(0, 1); got != 2 {
+		t.Errorf("R̄(0,1) = %v, want 2", got)
+	}
+	if got := d.Rates().At(1, 2); got != 12 {
+		t.Errorf("R̄(1,2) = %v, want 12", got)
+	}
+	if got := d.Rates().At(1, 0); got != 4 {
+		t.Errorf("R̄(1,0) = %v, want 4", got)
+	}
+	if d.Reward(0) != 0.5 || d.Reward(1) != 2 || d.Reward(2) != 1 {
+		t.Errorf("dual rewards = %v", d.Rewards())
+	}
+}
+
+func TestDualPreservesLabelsNamesInit(t *testing.T) {
+	m := model(t)
+	d, err := Dual(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasLabel(0, "x") || !d.HasLabel(2, "x") || !d.HasLabel(1, "y") {
+		t.Error("labels lost in dual")
+	}
+	init := d.Init()
+	if init[0] != 0.25 || init[1] != 0.75 {
+		t.Errorf("initial distribution lost: %v", init)
+	}
+}
+
+func TestDualZeroRewardAbsorbingAllowed(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1)
+	b.Reward(0, 2) // state 1 absorbing with reward 0
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Dual(m)
+	if err != nil {
+		t.Fatalf("absorbing zero-reward state must be allowed: %v", err)
+	}
+	if !d.IsAbsorbing(1) || d.Reward(1) != 0 {
+		t.Error("absorbing zero-reward state changed")
+	}
+}
+
+func TestDualZeroRewardTransientRejected(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1) // state 0 reward 0 with a transition
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dual(m); !errors.Is(err, ErrZeroReward) {
+		t.Errorf("err = %v, want ErrZeroReward", err)
+	}
+}
+
+func TestRewardBoundedUntilPassesDualAndBound(t *testing.T) {
+	m := model(t)
+	phi := m.Label("x")
+	psi := m.Label("y")
+	var gotT float64
+	var gotMax float64
+	_, err := RewardBoundedUntil(m, phi, psi, 7.5,
+		func(d *mrm.MRM, p, q *mrm.StateSet, tb float64) ([]float64, error) {
+			gotT = tb
+			gotMax = d.Reward(1)
+			return make([]float64, d.N()), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT != 7.5 {
+		t.Errorf("time bound on dual = %v, want 7.5", gotT)
+	}
+	if gotMax != 2 {
+		t.Errorf("callback did not receive the dual model (ρ̄(1)=%v)", gotMax)
+	}
+}
+
+// The duality theorem in action: for a model with constant reward c,
+// Φ U_{≤r} Ψ equals Φ U^{≤r/c} Ψ on the original model, because earning
+// reward r takes exactly time r/c.
+func TestDualityConstantRewardEquivalence(t *testing.T) {
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 1).Rate(1, 2, 2).Rate(1, 0, 1)
+	const c = 4.0
+	for s := 0; s < 3; s++ {
+		b.Reward(s, c)
+	}
+	b.Label(0, "phi").Label(1, "phi").Label(2, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, psi := m.Label("phi"), m.Label("psi")
+	const r = 6.0
+	viaDual, err := RewardBoundedUntil(m, phi, psi, r,
+		func(d *mrm.MRM, p, q *mrm.StateSet, tb float64) ([]float64, error) {
+			return transient.TimeBoundedUntil(d, p, q, tb, transient.DefaultOptions())
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := transient.TimeBoundedUntil(m, phi, psi, r/c, transient.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range direct {
+		if math.Abs(viaDual[s]-direct[s]) > 1e-10 {
+			t.Errorf("state %d: via dual %v, direct %v", s, viaDual[s], direct[s])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/sparse"
+)
+
+func digraph(t *testing.T, n int, edges [][2]int) *Digraph {
+	t.Helper()
+	ts := make([]sparse.Triplet, 0, len(edges))
+	for _, e := range edges {
+		ts = append(ts, sparse.Triplet{Row: e[0], Col: e[1], Val: 1})
+	}
+	m, err := sparse.NewFromTriplets(n, ts)
+	if err != nil {
+		t.Fatalf("matrix: %v", err)
+	}
+	return FromRates(m)
+}
+
+func TestBackwardReachable(t *testing.T) {
+	// 0→1→2, 3→2, 4 isolated.
+	g := digraph(t, 5, [][2]int{{0, 1}, {1, 2}, {3, 2}})
+	all := mrm.NewStateSet(5).Complement()
+	target := mrm.NewStateSetOf(5, 2)
+	got := g.BackwardReachable(all, target)
+	want := mrm.NewStateSetOf(5, 0, 1, 2, 3)
+	if !got.Equal(want) {
+		t.Errorf("reach = %v, want %v", got, want)
+	}
+	// Restrict through-set: block state 1.
+	through := mrm.NewStateSetOf(5, 0, 3)
+	got = g.BackwardReachable(through, target)
+	want = mrm.NewStateSetOf(5, 2, 3)
+	if !got.Equal(want) {
+		t.Errorf("restricted reach = %v, want %v", got, want)
+	}
+}
+
+func TestProb0Prob1(t *testing.T) {
+	// 0→1, 0→3, 1→2; phi={0,1}, psi={2}.
+	// From 0: may go to 3 (dead end) → prob in (0,1). From 1: must reach 2.
+	g := digraph(t, 4, [][2]int{{0, 1}, {0, 3}, {1, 2}})
+	phi := mrm.NewStateSetOf(4, 0, 1)
+	psi := mrm.NewStateSetOf(4, 2)
+	p0 := Prob0(g, phi, psi)
+	if !p0.Equal(mrm.NewStateSetOf(4, 3)) {
+		t.Errorf("Prob0 = %v, want {3}", p0)
+	}
+	p1 := Prob1(g, phi, psi, p0)
+	if !p1.Equal(mrm.NewStateSetOf(4, 1, 2)) {
+		t.Errorf("Prob1 = %v, want {1, 2}", p1)
+	}
+}
+
+func TestProb1CycleEscape(t *testing.T) {
+	// 0↔1 cycle with escape 1→2 (psi): from both 0 and 1 the until holds
+	// almost surely.
+	g := digraph(t, 3, [][2]int{{0, 1}, {1, 0}, {1, 2}})
+	phi := mrm.NewStateSetOf(3, 0, 1)
+	psi := mrm.NewStateSetOf(3, 2)
+	p0 := Prob0(g, phi, psi)
+	if !p0.IsEmpty() {
+		t.Fatalf("Prob0 = %v, want empty", p0)
+	}
+	p1 := Prob1(g, phi, psi, p0)
+	if p1.Len() != 3 {
+		t.Errorf("Prob1 = %v, want all states", p1)
+	}
+}
+
+func normalise(comps [][]int) [][]int {
+	for _, c := range comps {
+		sort.Ints(c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+func TestSCCs(t *testing.T) {
+	// Two cycles {0,1} and {2,3,4}, plus bridge 1→2 and a sink 5.
+	g := digraph(t, 6, [][2]int{
+		{0, 1}, {1, 0},
+		{1, 2},
+		{2, 3}, {3, 4}, {4, 2},
+		{4, 5},
+	})
+	got := normalise(g.SCCs())
+	want := [][]int{{0, 1}, {2, 3, 4}, {5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SCCs = %v, want %v", got, want)
+	}
+}
+
+func TestBSCCs(t *testing.T) {
+	g := digraph(t, 6, [][2]int{
+		{0, 1}, {1, 0},
+		{1, 2},
+		{2, 3}, {3, 4}, {4, 2},
+		{4, 5},
+	})
+	got := normalise(g.BSCCs())
+	want := [][]int{{5}} // only the absorbing sink is bottom
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BSCCs = %v, want %v", got, want)
+	}
+
+	// A closed cycle is a BSCC.
+	g2 := digraph(t, 3, [][2]int{{0, 1}, {1, 2}, {2, 1}})
+	got = normalise(g2.BSCCs())
+	want = [][]int{{1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BSCCs = %v, want %v", got, want)
+	}
+}
+
+func TestSCCsDeepChain(t *testing.T) {
+	// A long path must not overflow anything (iterative Tarjan).
+	const n = 200_000
+	ts := make([]sparse.Triplet, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		ts = append(ts, sparse.Triplet{Row: i, Col: i + 1, Val: 1})
+	}
+	m, err := sparse.NewFromTriplets(n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromRates(m)
+	comps := g.SCCs()
+	if len(comps) != n {
+		t.Errorf("got %d components, want %d", len(comps), n)
+	}
+	bs := g.BSCCs()
+	if len(bs) != 1 || bs[0][0] != n-1 {
+		t.Errorf("BSCCs = %v, want [[%d]]", len(bs), n-1)
+	}
+}

@@ -1,0 +1,320 @@
+// Package logic defines the continuous stochastic reward logic CSRL
+// (Section 2.2 of the paper): state formulas over atomic propositions with
+// boolean connectives, the probabilistic path operator P⋈p(·) over
+// next- and until-path-formulas carrying a time interval I and a reward
+// interval J, and the steady-state operator S⋈p(·). A recursive-descent
+// parser for a PRISM-flavoured concrete syntax is provided in parser.go.
+package logic
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ComparisonOp is the probability-bound comparison ⋈ ∈ {<, ≤, >, ≥}.
+type ComparisonOp int
+
+// Comparison operators.
+const (
+	Less ComparisonOp = iota + 1
+	LessEq
+	Greater
+	GreaterEq
+)
+
+// String renders the operator in concrete syntax.
+func (op ComparisonOp) String() string {
+	switch op {
+	case Less:
+		return "<"
+	case LessEq:
+		return "<="
+	case Greater:
+		return ">"
+	case GreaterEq:
+		return ">="
+	default:
+		return fmt.Sprintf("ComparisonOp(%d)", int(op))
+	}
+}
+
+// Compare applies the operator to (value, bound).
+func (op ComparisonOp) Compare(value, bound float64) bool {
+	switch op {
+	case Less:
+		return value < bound
+	case LessEq:
+		return value <= bound
+	case Greater:
+		return value > bound
+	case GreaterEq:
+		return value >= bound
+	default:
+		return false
+	}
+}
+
+// Negate returns the complement operator, used when rewriting G via F:
+// P⋈p(G φ) ≡ P⋈̃(1−p)(F ¬φ) with ⋈̃ the negated comparison.
+func (op ComparisonOp) Negate() ComparisonOp {
+	switch op {
+	case Less:
+		return Greater
+	case LessEq:
+		return GreaterEq
+	case Greater:
+		return Less
+	case GreaterEq:
+		return LessEq
+	default:
+		return op
+	}
+}
+
+// Interval is a closed interval [Lo, Hi] on the non-negative reals;
+// Hi = +Inf encodes an unbounded interval. The zero value is invalid; use
+// Unbounded or UpTo.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Unbounded returns [0, ∞) — the vacuous constraint.
+func Unbounded() Interval { return Interval{Lo: 0, Hi: math.Inf(1)} }
+
+// UpTo returns [0, hi].
+func UpTo(hi float64) Interval { return Interval{Lo: 0, Hi: hi} }
+
+// Between returns [lo, hi].
+func Between(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// IsUnbounded reports whether the interval is [0, ∞).
+func (iv Interval) IsUnbounded() bool { return iv.Lo == 0 && math.IsInf(iv.Hi, 1) }
+
+// StartsAtZero reports whether Lo == 0 (the restriction of the paper's
+// computational procedures).
+func (iv Interval) StartsAtZero() bool { return iv.Lo == 0 }
+
+// Valid reports whether 0 ≤ Lo ≤ Hi.
+func (iv Interval) Valid() bool { return iv.Lo >= 0 && iv.Lo <= iv.Hi }
+
+// Contains reports whether v ∈ [Lo, Hi].
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// String renders the interval in the concrete syntax of bounds.
+func (iv Interval) String() string {
+	if iv.IsUnbounded() {
+		return ""
+	}
+	if iv.Lo == 0 {
+		return fmt.Sprintf("<=%g", iv.Hi)
+	}
+	if math.IsInf(iv.Hi, 1) {
+		return fmt.Sprintf(">=%g", iv.Lo)
+	}
+	return fmt.Sprintf(" in [%g,%g]", iv.Lo, iv.Hi)
+}
+
+// StateFormula is a CSRL state formula.
+type StateFormula interface {
+	fmt.Stringer
+	stateFormula()
+}
+
+// PathFormula is a CSRL path formula (argument of the P operator).
+type PathFormula interface {
+	fmt.Stringer
+	pathFormula()
+}
+
+// True is the formula satisfied by every state.
+type True struct{}
+
+// False is the formula satisfied by no state (sugar for ¬true).
+type False struct{}
+
+// Atomic is an atomic proposition from the model's labelling.
+type Atomic struct{ Name string }
+
+// Not is negation ¬Φ.
+type Not struct{ Sub StateFormula }
+
+// And is conjunction Φ ∧ Ψ (definable from ¬ and ∨; kept first-class).
+type And struct{ Left, Right StateFormula }
+
+// Or is disjunction Φ ∨ Ψ.
+type Or struct{ Left, Right StateFormula }
+
+// Implies is implication Φ → Ψ.
+type Implies struct{ Left, Right StateFormula }
+
+// Prob is the probabilistic path operator P⋈p(φ). With Query set, the
+// formula carries no bound and evaluates to the probability itself (used by
+// the CLI in "P=?" form, following established model-checker practice).
+// With Complement set, the semantics are applied to 1 − Pr(φ); the parser
+// uses this to reduce the globally operator G to F.
+type Prob struct {
+	Op         ComparisonOp
+	Bound      float64
+	Query      bool
+	Complement bool
+	Path       PathFormula
+}
+
+// Steady is the steady-state operator S⋈p(Φ); Query as for Prob.
+type Steady struct {
+	Op    ComparisonOp
+	Bound float64
+	Query bool
+	Sub   StateFormula
+}
+
+// Next is the path formula X^I_J Φ.
+type Next struct {
+	Time   Interval
+	Reward Interval
+	Sub    StateFormula
+}
+
+// Until is the path formula Φ U^I_J Ψ.
+type Until struct {
+	Time   Interval
+	Reward Interval
+	Left   StateFormula
+	Right  StateFormula
+}
+
+func (True) stateFormula()    {}
+func (False) stateFormula()   {}
+func (Atomic) stateFormula()  {}
+func (Not) stateFormula()     {}
+func (And) stateFormula()     {}
+func (Or) stateFormula()      {}
+func (Implies) stateFormula() {}
+func (Prob) stateFormula()    {}
+func (Steady) stateFormula()  {}
+
+func (Next) pathFormula()  {}
+func (Until) pathFormula() {}
+
+// String renders formulas in the concrete syntax accepted by Parse.
+func (True) String() string     { return "true" }
+func (False) String() string    { return "false" }
+func (a Atomic) String() string { return a.Name }
+func (n Not) String() string    { return "!" + paren(n.Sub) }
+func (a And) String() string    { return paren(a.Left) + " & " + paren(a.Right) }
+func (o Or) String() string     { return paren(o.Left) + " | " + paren(o.Right) }
+func (i Implies) String() string {
+	return paren(i.Left) + " => " + paren(i.Right)
+}
+
+func (p Prob) String() string {
+	var b strings.Builder
+	b.WriteString("P")
+	if p.Query {
+		b.WriteString("=?")
+	} else {
+		fmt.Fprintf(&b, "%v%g", p.Op, p.Bound)
+	}
+	b.WriteString(" [ ")
+	if p.Complement {
+		// Re-sugar the complemented eventually back into G where possible.
+		if u, ok := p.Path.(Until); ok {
+			if _, isTrue := u.Left.(True); isTrue {
+				if neg, isNot := u.Right.(Not); isNot {
+					b.WriteString("G" + bounds(u.Time, u.Reward) + " " + paren(neg.Sub))
+					b.WriteString(" ]")
+					return b.String()
+				}
+			}
+		}
+		b.WriteString("!(" + p.Path.String() + ")")
+	} else {
+		b.WriteString(p.Path.String())
+	}
+	b.WriteString(" ]")
+	return b.String()
+}
+
+func (s Steady) String() string {
+	if s.Query {
+		return fmt.Sprintf("S=? [ %s ]", s.Sub)
+	}
+	return fmt.Sprintf("S%v%g [ %s ]", s.Op, s.Bound, s.Sub)
+}
+
+func (n Next) String() string {
+	return "X" + bounds(n.Time, n.Reward) + " " + paren(n.Sub)
+}
+
+func (u Until) String() string {
+	if _, ok := u.Left.(True); ok {
+		return "F" + bounds(u.Time, u.Reward) + " " + paren(u.Right)
+	}
+	return paren(u.Left) + " U" + bounds(u.Time, u.Reward) + " " + paren(u.Right)
+}
+
+func bounds(time, reward Interval) string {
+	if time.IsUnbounded() && reward.IsUnbounded() {
+		return ""
+	}
+	var parts []string
+	if !time.IsUnbounded() {
+		parts = append(parts, "t"+time.String())
+	}
+	if !reward.IsUnbounded() {
+		parts = append(parts, "r"+reward.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// paren wraps composite sub-formulas in parentheses for unambiguous output.
+func paren(f StateFormula) string {
+	switch f.(type) {
+	case True, False, Atomic, Not, Prob, Steady:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// Walk applies fn to f and every state sub-formula, depth-first.
+func Walk(f StateFormula, fn func(StateFormula)) {
+	fn(f)
+	switch t := f.(type) {
+	case Not:
+		Walk(t.Sub, fn)
+	case And:
+		Walk(t.Left, fn)
+		Walk(t.Right, fn)
+	case Or:
+		Walk(t.Left, fn)
+		Walk(t.Right, fn)
+	case Implies:
+		Walk(t.Left, fn)
+		Walk(t.Right, fn)
+	case Steady:
+		Walk(t.Sub, fn)
+	case Prob:
+		switch p := t.Path.(type) {
+		case Next:
+			Walk(p.Sub, fn)
+		case Until:
+			Walk(p.Left, fn)
+			Walk(p.Right, fn)
+		}
+	}
+}
+
+// Atoms returns the distinct atomic propositions occurring in f.
+func Atoms(f StateFormula) []string {
+	seen := make(map[string]bool)
+	var out []string
+	Walk(f, func(g StateFormula) {
+		if a, ok := g.(Atomic); ok && !seen[a.Name] {
+			seen[a.Name] = true
+			out = append(out, a.Name)
+		}
+	})
+	return out
+}

@@ -1,0 +1,184 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokNot
+	tokAnd
+	tokOr
+	tokImplies
+	tokLess
+	tokLessEq
+	tokGreater
+	tokGreaterEq
+	tokQuery // "=?"
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokNot:
+		return "'!'"
+	case tokAnd:
+		return "'&'"
+	case tokOr:
+		return "'|'"
+	case tokImplies:
+		return "'=>'"
+	case tokLess:
+		return "'<'"
+	case tokLessEq:
+		return "'<='"
+	case tokGreater:
+		return "'>'"
+	case tokGreaterEq:
+		return "'>='"
+	case tokQuery:
+		return "'=?'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+// lex tokenises the input; errors carry the byte offset.
+func lex(input string) ([]token, error) {
+	var toks []token
+	runes := []rune(input)
+	i := 0
+	for i < len(runes) {
+		c := runes[i]
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, pos: i})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, pos: i})
+			i++
+		case c == '{':
+			toks = append(toks, token{kind: tokLBrace, pos: i})
+			i++
+		case c == '}':
+			toks = append(toks, token{kind: tokRBrace, pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, pos: i})
+			i++
+		case c == '!':
+			toks = append(toks, token{kind: tokNot, pos: i})
+			i++
+		case c == '&':
+			toks = append(toks, token{kind: tokAnd, pos: i})
+			i++
+			if i < len(runes) && runes[i] == '&' { // accept && as &
+				i++
+			}
+		case c == '|':
+			toks = append(toks, token{kind: tokOr, pos: i})
+			i++
+			if i < len(runes) && runes[i] == '|' { // accept || as |
+				i++
+			}
+		case c == '=':
+			if i+1 < len(runes) && runes[i+1] == '>' {
+				toks = append(toks, token{kind: tokImplies, pos: i})
+				i += 2
+			} else if i+1 < len(runes) && runes[i+1] == '?' {
+				toks = append(toks, token{kind: tokQuery, pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("logic: offset %d: unexpected '='", i)
+			}
+		case c == '<':
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokLessEq, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokLess, pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokGreaterEq, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokGreater, pos: i})
+				i++
+			}
+		case unicode.IsDigit(c) || c == '.':
+			j := i
+			for j < len(runes) && (unicode.IsDigit(runes[j]) || runes[j] == '.' ||
+				runes[j] == 'e' || runes[j] == 'E' ||
+				((runes[j] == '+' || runes[j] == '-') && j > i && (runes[j-1] == 'e' || runes[j-1] == 'E'))) {
+				j++
+			}
+			text := string(runes[i:j])
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("logic: offset %d: bad number %q", i, text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: v, pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(runes[i:j]), pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("logic: offset %d: unexpected character %q", i, string(c))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(runes)})
+	return toks, nil
+}

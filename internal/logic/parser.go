@@ -1,0 +1,399 @@
+package logic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// ErrSyntax reports a parse failure.
+var ErrSyntax = errors.New("logic: syntax error")
+
+// Parse parses a CSRL state formula from its concrete syntax. Examples:
+//
+//	P>0.5 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]   (Q3)
+//	P>0.5 [ F{r<=600} call_incoming ]                              (Q1)
+//	P>0.5 [ F{t<=24} call_incoming ]                               (Q2)
+//	P=? [ X{t in [1,2]} red ]
+//	S>=0.9 [ !failed ]
+//	P<=0.1 [ G{t<=10} green ]
+//
+// Bounds are written in braces: t for the time interval I, r for the
+// reward interval J; "t<=24" means [0,24], "t>=2" means [2,∞),
+// "t in [2,4]" means [2,4]. The temporal operators are U (until),
+// X (next), F (eventually) and G (globally; rewritten via F).
+func Parse(input string) (StateFormula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	f, err := p.stateFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting at %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples with
+// literal formulas.
+func MustParse(input string) StateFormula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	input string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+// next consumes and returns the current token; the trailing EOF token is
+// sticky so error paths can keep reporting positions safely.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) at(k tokenKind) bool {
+	return p.peek().kind == k
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errorf("expected %v, got %v", k, describe(t))
+	}
+	return t, nil
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokIdent, tokNumber:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.kind.String()
+	}
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%w: offset %d: %s", ErrSyntax, p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// stateFormula := implies
+func (p *parser) stateFormula() (StateFormula, error) {
+	return p.implies()
+}
+
+// implies := or ("=>" implies)?   — right associative.
+func (p *parser) implies() (StateFormula, error) {
+	left, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokImplies) {
+		p.next()
+		right, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) or() (StateFormula, error) {
+	left, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOr) {
+		p.next()
+		right, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) and() (StateFormula, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokAnd) {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (StateFormula, error) {
+	if p.at(tokNot) {
+		p.next()
+		sub, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Sub: sub}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (StateFormula, error) {
+	t := p.next()
+	switch t.kind {
+	case tokLParen:
+		f, err := p.stateFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return True{}, nil
+		case "false":
+			return False{}, nil
+		case "P":
+			return p.probOperator()
+		case "S":
+			return p.steadyOperator()
+		default:
+			return Atomic{Name: t.text}, nil
+		}
+	default:
+		return nil, p.errorf("expected a state formula, got %v", describe(t))
+	}
+}
+
+// probBound := "=?" | cmp number
+func (p *parser) probBound() (op ComparisonOp, bound float64, query bool, err error) {
+	t := p.next()
+	switch t.kind {
+	case tokQuery:
+		return 0, 0, true, nil
+	case tokLess:
+		op = Less
+	case tokLessEq:
+		op = LessEq
+	case tokGreater:
+		op = Greater
+	case tokGreaterEq:
+		op = GreaterEq
+	default:
+		return 0, 0, false, p.errorf("expected probability bound, got %v", describe(t))
+	}
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if num.num < 0 || num.num > 1 {
+		return 0, 0, false, p.errorf("probability bound %g outside [0,1]", num.num)
+	}
+	return op, num.num, false, nil
+}
+
+func (p *parser) probOperator() (StateFormula, error) {
+	op, bound, query, err := p.probBound()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	path, complement, err := p.pathFormula()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	pr := Prob{Op: op, Bound: bound, Query: query, Path: path, Complement: complement}
+	if complement && !query {
+		// P⋈p(G φ) ≡ P⋈̃(1−p)(F ¬φ); fold the complement into the bound so
+		// the checker sees a plain until. Keep Complement for queries.
+		// Snap the folded bound to the shortest decimal (1−0.9 is
+		// 0.09999…98 in binary; the user meant 0.1).
+		pr.Op = op.Negate()
+		folded, err := strconv.ParseFloat(strconv.FormatFloat(1-bound, 'g', 15, 64), 64)
+		if err != nil {
+			folded = 1 - bound
+		}
+		pr.Bound = folded
+		pr.Complement = false
+	}
+	return pr, nil
+}
+
+func (p *parser) steadyOperator() (StateFormula, error) {
+	op, bound, query, err := p.probBound()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	sub, err := p.stateFormula()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return Steady{Op: op, Bound: bound, Query: query, Sub: sub}, nil
+}
+
+// pathFormula parses X/F/G-prefixed formulas or a binary until. The second
+// return value reports that the caller must complement the probability
+// (globally operator).
+func (p *parser) pathFormula() (PathFormula, bool, error) {
+	if p.at(tokIdent) {
+		t := p.peek()
+		switch t.text {
+		case "X", "F", "G":
+			p.next()
+			time, reward, err := p.boundSpec()
+			if err != nil {
+				return nil, false, err
+			}
+			sub, err := p.stateFormula()
+			if err != nil {
+				return nil, false, err
+			}
+			switch t.text {
+			case "X":
+				return Next{Time: time, Reward: reward, Sub: sub}, false, nil
+			case "F":
+				return Until{Time: time, Reward: reward, Left: True{}, Right: sub}, false, nil
+			default: // G φ ≡ ¬F ¬φ at path level
+				return Until{Time: time, Reward: reward, Left: True{}, Right: Not{Sub: sub}}, true, nil
+			}
+		}
+	}
+	left, err := p.stateFormula()
+	if err != nil {
+		return nil, false, err
+	}
+	u, err := p.expect(tokIdent)
+	if err != nil || u.text != "U" {
+		return nil, false, p.errorf("expected 'U' in until path formula")
+	}
+	time, reward, err := p.boundSpec()
+	if err != nil {
+		return nil, false, err
+	}
+	right, err := p.stateFormula()
+	if err != nil {
+		return nil, false, err
+	}
+	return Until{Time: time, Reward: reward, Left: left, Right: right}, false, nil
+}
+
+// boundSpec := ε | "{" bound ("," bound)* "}"
+// bound     := ("t"|"r") (cmp number | "in" "[" number "," number "]")
+func (p *parser) boundSpec() (time, reward Interval, err error) {
+	time, reward = Unbounded(), Unbounded()
+	if !p.at(tokLBrace) {
+		return time, reward, nil
+	}
+	p.next()
+	seen := map[string]bool{}
+	for {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return time, reward, err
+		}
+		if id.text != "t" && id.text != "r" {
+			return time, reward, p.errorf("bound must start with 't' or 'r', got %q", id.text)
+		}
+		if seen[id.text] {
+			return time, reward, p.errorf("duplicate %q bound", id.text)
+		}
+		seen[id.text] = true
+		iv, err := p.boundInterval()
+		if err != nil {
+			return time, reward, err
+		}
+		if id.text == "t" {
+			time = iv
+		} else {
+			reward = iv
+		}
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return time, reward, err
+	}
+	return time, reward, nil
+}
+
+func (p *parser) boundInterval() (Interval, error) {
+	t := p.next()
+	switch t.kind {
+	case tokLessEq, tokLess:
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return Interval{}, err
+		}
+		return UpTo(num.num), nil
+	case tokGreaterEq, tokGreater:
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return Interval{}, err
+		}
+		return Interval{Lo: num.num, Hi: math.Inf(1)}, nil
+	case tokIdent:
+		if t.text != "in" {
+			return Interval{}, p.errorf("expected comparison or 'in', got %q", t.text)
+		}
+		if _, err := p.expect(tokLBracket); err != nil {
+			return Interval{}, err
+		}
+		lo, err := p.expect(tokNumber)
+		if err != nil {
+			return Interval{}, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return Interval{}, err
+		}
+		hi, err := p.expect(tokNumber)
+		if err != nil {
+			return Interval{}, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return Interval{}, err
+		}
+		iv := Between(lo.num, hi.num)
+		if !iv.Valid() {
+			return Interval{}, p.errorf("invalid interval [%g,%g]", lo.num, hi.num)
+		}
+		return iv, nil
+	default:
+		return Interval{}, p.errorf("expected bound, got %v", describe(t))
+	}
+}

@@ -1,0 +1,243 @@
+package logic
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAtomsAndBooleans(t *testing.T) {
+	tests := []struct {
+		give string
+		want string // canonical String() output
+	}{
+		{"true", "true"},
+		{"false", "false"},
+		{"red", "red"},
+		{"!red", "!red"},
+		{"red & green", "red & green"},
+		{"red && green", "red & green"},
+		{"red | green", "red | green"},
+		{"red || green", "red | green"},
+		{"red => green", "red => green"},
+		{"!(red | green)", "!(red | green)"},
+		{"a & b & c", "(a & b) & c"},
+		{"a | b & c", "a | (b & c)"}, // & binds tighter
+		{"a => b => c", "a => (b => c)"},
+		{"( a )", "a"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			f, err := Parse(tt.give)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.give, err)
+			}
+			if got := f.String(); got != tt.want {
+				t.Errorf("String = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseProbabilisticOperators(t *testing.T) {
+	tests := []string{
+		"P>0.5 [ a U b ]",
+		"P>=0.5 [ a U{t<=24} b ]",
+		"P<0.1 [ a U{t<=24, r<=600} b ]",
+		"P<=0.9 [ F{r<=600} b ]",
+		"P=? [ X{t in [1,2], r<=3} b ]",
+		"P>0 [ F (P>0.9 [ X c ]) ]",
+		"S>=0.99 [ up ]",
+		"S=? [ up & !failed ]",
+	}
+	for _, give := range tests {
+		t.Run(give, func(t *testing.T) {
+			f, err := Parse(give)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", give, err)
+			}
+			// Round-trip: the canonical form must re-parse to itself.
+			canon := f.String()
+			f2, err := Parse(canon)
+			if err != nil {
+				t.Fatalf("re-parse %q: %v", canon, err)
+			}
+			if f2.String() != canon {
+				t.Errorf("round trip: %q -> %q", canon, f2.String())
+			}
+		})
+	}
+}
+
+func TestParseBounds(t *testing.T) {
+	f, err := Parse("P>0.5 [ a U{t<=24, r<=600} b ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := f.(Prob).Path.(Until)
+	if u.Time != UpTo(24) {
+		t.Errorf("time = %+v", u.Time)
+	}
+	if u.Reward != UpTo(600) {
+		t.Errorf("reward = %+v", u.Reward)
+	}
+
+	f, err = Parse("P>0.5 [ a U{r in [2,6]} b ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u = f.(Prob).Path.(Until)
+	if !u.Time.IsUnbounded() {
+		t.Errorf("time should be unbounded: %+v", u.Time)
+	}
+	if u.Reward != Between(2, 6) {
+		t.Errorf("reward = %+v", u.Reward)
+	}
+
+	f, err = Parse("P>0.5 [ a U{t>=3} b ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u = f.(Prob).Path.(Until)
+	if u.Time.Lo != 3 || !math.IsInf(u.Time.Hi, 1) {
+		t.Errorf("time = %+v", u.Time)
+	}
+}
+
+func TestGloballyRewrite(t *testing.T) {
+	// P>=0.8 [G{t<=5} ok] becomes P<=0.2 [F{t<=5} !ok].
+	f, err := Parse("P>=0.8 [ G{t<=5} ok ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.(Prob)
+	if p.Op != LessEq || math.Abs(p.Bound-0.2) > 1e-15 || p.Complement {
+		t.Errorf("rewrite wrong: %+v", p)
+	}
+	u := p.Path.(Until)
+	if _, ok := u.Left.(True); !ok {
+		t.Errorf("left = %v", u.Left)
+	}
+	if _, ok := u.Right.(Not); !ok {
+		t.Errorf("right = %v", u.Right)
+	}
+	// Query form keeps the complement flag.
+	f, err = Parse("P=? [ G ok ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.(Prob).Complement {
+		t.Error("query globally must set Complement")
+	}
+	if got := f.String(); got != "P=? [ G ok ]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"P>0.5",
+		"P>0.5 [ a U b",               // missing bracket
+		"P>1.5 [ a U b ]",             // bound out of range
+		"P>0.5 [ a V b ]",             // not an until
+		"P>0.5 [ a U{x<=1} b ]",       // unknown bound name
+		"P>0.5 [ a U{t<=1, t<=2} b ]", // duplicate bound
+		"P>0.5 [ a U{t in [5,2]} b ]", // inverted interval
+		"a &",
+		"(a",
+		"a ]",
+		"P =! [ a U b ]",
+		"1.2.3",
+		"a @ b",
+	}
+	for _, give := range bad {
+		if _, err := Parse(give); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", give)
+		}
+	}
+	if _, err := Parse("P>0.5 [ a U{t<=1, t<=2} b ]"); !errors.Is(err, ErrSyntax) {
+		t.Error("errors should wrap ErrSyntax")
+	}
+}
+
+func TestComparisonOps(t *testing.T) {
+	tests := []struct {
+		op   ComparisonOp
+		v, b float64
+		want bool
+	}{
+		{Less, 1, 2, true},
+		{Less, 2, 2, false},
+		{LessEq, 2, 2, true},
+		{Greater, 3, 2, true},
+		{Greater, 2, 2, false},
+		{GreaterEq, 2, 2, true},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Compare(tt.v, tt.b); got != tt.want {
+			t.Errorf("%v.Compare(%v,%v) = %v", tt.op, tt.v, tt.b, got)
+		}
+	}
+	if Less.Negate() != Greater || GreaterEq.Negate() != LessEq {
+		t.Error("Negate wrong")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	if !Unbounded().IsUnbounded() {
+		t.Error("Unbounded not unbounded")
+	}
+	if UpTo(5).IsUnbounded() || !UpTo(5).StartsAtZero() || !UpTo(5).Contains(5) || UpTo(5).Contains(5.1) {
+		t.Error("UpTo wrong")
+	}
+	if Between(2, 1).Valid() || !Between(1, 2).Valid() {
+		t.Error("Valid wrong")
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	f := MustParse("P>0.5 [ (a | b) U{t<=1} (a & P<0.1 [ X c ]) ]")
+	atoms := Atoms(f)
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	if len(atoms) != 3 {
+		t.Fatalf("Atoms = %v", atoms)
+	}
+	for _, a := range atoms {
+		if !want[a] {
+			t.Errorf("unexpected atom %q", a)
+		}
+	}
+}
+
+// Round-trip property: String() output of a parsed formula re-parses to an
+// identical canonical form.
+func TestRoundTripProperty(t *testing.T) {
+	inputs := []string{
+		"P>0.5 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]",
+		"P>0.5 [ F{r<=600} call_incoming ]",
+		"P>0.5 [ F{t<=24} call_incoming ]",
+		"S<0.2 [ !up => down ]",
+		"P=? [ X{t in [0.5,1.5]} (a & !b) ]",
+		"P<=0.1 [ G{t<=10} green ]",
+	}
+	idx := 0
+	f := func() bool {
+		give := inputs[idx%len(inputs)]
+		idx++
+		formula, err := Parse(give)
+		if err != nil {
+			return false
+		}
+		canon := formula.String()
+		again, err := Parse(canon)
+		if err != nil {
+			return false
+		}
+		return again.String() == canon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: len(inputs)}); err != nil {
+		t.Error(err)
+	}
+}

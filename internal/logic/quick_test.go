@@ -1,0 +1,119 @@
+package logic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randFormula generates a random CSRL state formula of bounded depth —
+// the generator behind the parser round-trip property test.
+func randFormula(rng *rand.Rand, depth int) StateFormula {
+	atoms := []string{"red", "green", "up", "call_idle", "x1"}
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return True{}
+		case 1:
+			return False{}
+		default:
+			return Atomic{Name: atoms[rng.Intn(len(atoms))]}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return Not{Sub: randFormula(rng, depth-1)}
+	case 1:
+		return And{Left: randFormula(rng, depth-1), Right: randFormula(rng, depth-1)}
+	case 2:
+		return Or{Left: randFormula(rng, depth-1), Right: randFormula(rng, depth-1)}
+	case 3:
+		return Implies{Left: randFormula(rng, depth-1), Right: randFormula(rng, depth-1)}
+	case 4:
+		return Steady{Op: randOp(rng), Bound: randBound(rng), Sub: randFormula(rng, depth-1)}
+	case 5:
+		return Prob{Op: randOp(rng), Bound: randBound(rng), Path: Next{
+			Time:   randInterval(rng),
+			Reward: randInterval(rng),
+			Sub:    randFormula(rng, depth-1),
+		}}
+	default:
+		return Prob{Op: randOp(rng), Bound: randBound(rng), Path: Until{
+			Time:   randInterval(rng),
+			Reward: randInterval(rng),
+			Left:   randFormula(rng, depth-1),
+			Right:  randFormula(rng, depth-1),
+		}}
+	}
+}
+
+func randOp(rng *rand.Rand) ComparisonOp {
+	return ComparisonOp(1 + rng.Intn(4))
+}
+
+// randBound picks probabilities with short decimal representations so the
+// printed form parses back to the identical float.
+func randBound(rng *rand.Rand) float64 {
+	return float64(rng.Intn(101)) / 100
+}
+
+func randInterval(rng *rand.Rand) Interval {
+	switch rng.Intn(4) {
+	case 0:
+		return Unbounded()
+	case 1:
+		return UpTo(float64(1 + rng.Intn(100)))
+	case 2:
+		return Interval{Lo: float64(1 + rng.Intn(10)), Hi: math.Inf(1)}
+	default:
+		lo := float64(rng.Intn(10))
+		return Between(lo, lo+float64(1+rng.Intn(20)))
+	}
+}
+
+// TestRandomFormulaRoundTrip: for arbitrary generated ASTs, the canonical
+// String() form parses back to a formula with the identical canonical form
+// (String is a right inverse of Parse on its own image).
+func TestRandomFormulaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	f := func() bool {
+		formula := randFormula(rng, 3)
+		canon := formula.String()
+		parsed, err := Parse(canon)
+		if err != nil {
+			t.Logf("failed to re-parse %q: %v", canon, err)
+			return false
+		}
+		if parsed.String() != canon {
+			t.Logf("round trip %q -> %q", canon, parsed.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomFormulaAtomsSubset: Atoms only reports propositions from the
+// generator's alphabet and reports each at most once.
+func TestRandomFormulaAtomsSubset(t *testing.T) {
+	alphabet := map[string]bool{"red": true, "green": true, "up": true, "call_idle": true, "x1": true}
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		formula := randFormula(rng, 4)
+		atoms := Atoms(formula)
+		seen := make(map[string]bool)
+		for _, a := range atoms {
+			if !alphabet[a] || seen[a] {
+				return false
+			}
+			seen[a] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package lump implements ordinary lumpability (Markov-chain bisimulation)
+// quotienting for Markov reward models, the state-space reduction that the
+// successor tools of this paper's line of work (most notably MRMC) apply
+// before CSRL model checking. Two states are lumpable when they carry the
+// same atomic propositions and reward rate and have identical aggregate
+// rates into every equivalence class; the quotient MRM then satisfies
+// exactly the same CSRL formulas (over the preserved propositions) as the
+// original, with every state inheriting the verdict of its block.
+//
+// The implementation is a straightforward partition refinement: start from
+// the (labels, reward) signature partition and split blocks by their
+// aggregate-rate signature vectors until a fixpoint is reached.
+package lump
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/performability/csrl/internal/mrm"
+)
+
+// Result is a lumped model together with the surjection onto its blocks.
+type Result struct {
+	// Model is the quotient MRM; block b is state b of Model.
+	Model *mrm.MRM
+	// BlockOf maps each original state to its block index.
+	BlockOf []int
+	// Blocks lists the original states of every block.
+	Blocks [][]int
+}
+
+// Quotient computes the coarsest ordinary-lumpability quotient of m that
+// respects all state labels and rewards. Models with impulse rewards are
+// not lumped (aggregating transitions with distinct impulses is lossy).
+func Quotient(m *mrm.MRM) (*Result, error) {
+	return QuotientRespecting(m, m.Labels())
+}
+
+// QuotientRespecting lumps with respect to only the given atomic
+// propositions — formula-dependent lumping: pass logic.Atoms(formula) to
+// obtain the coarsest quotient that is exact for that formula. Propositions
+// outside the list may be merged away and are absent from the quotient.
+func QuotientRespecting(m *mrm.MRM, respect []string) (*Result, error) {
+	if m.HasImpulses() {
+		return nil, fmt.Errorf("lump: %w", mrm.ErrImpulsesUnsupported)
+	}
+	n := m.N()
+	labels := append([]string(nil), respect...)
+	sort.Strings(labels)
+
+	// Initial partition: identical label sets, rewards and initial-state
+	// status. (Initial probability masses are summed per block, which is
+	// only faithful if blocks do not mix initial and non-initial states
+	// with different masses; keeping the initial signature avoids the
+	// common pitfall.)
+	blockOf := make([]int, n)
+	{
+		sig := make(map[string]int)
+		init := m.Init()
+		for s := 0; s < n; s++ {
+			var b strings.Builder
+			for _, l := range labels {
+				if m.HasLabel(s, l) {
+					b.WriteString(l)
+					b.WriteByte(';')
+				}
+			}
+			b.WriteString(strconv.FormatFloat(m.Reward(s), 'g', -1, 64))
+			b.WriteByte('|')
+			b.WriteString(strconv.FormatFloat(init[s], 'g', -1, 64))
+			key := b.String()
+			id, ok := sig[key]
+			if !ok {
+				id = len(sig)
+				sig[key] = id
+			}
+			blockOf[s] = id
+		}
+	}
+
+	// Refinement: split blocks by the aggregate rate into every block.
+	for {
+		type stateSig struct {
+			state int
+			key   string
+		}
+		changed := false
+		// Group states by current block.
+		byBlock := make(map[int][]int)
+		for s, b := range blockOf {
+			byBlock[b] = append(byBlock[b], s)
+		}
+		next := make([]int, n)
+		nextID := 0
+		blockIDs := make([]int, 0, len(byBlock))
+		for b := range byBlock {
+			blockIDs = append(blockIDs, b)
+		}
+		sort.Ints(blockIDs)
+		for _, b := range blockIDs {
+			states := byBlock[b]
+			sigs := make([]stateSig, 0, len(states))
+			for _, s := range states {
+				// Ordinary lumpability constrains the aggregate rate into
+				// every OTHER block; internal transitions are invisible at
+				// the block level and excluded from the signature.
+				agg := make(map[int]float64)
+				m.Rates().Row(s, func(t int, v float64) {
+					if v != 0 && blockOf[t] != b {
+						agg[blockOf[t]] += v
+					}
+				})
+				keys := make([]int, 0, len(agg))
+				for k := range agg {
+					keys = append(keys, k)
+				}
+				sort.Ints(keys)
+				var sb strings.Builder
+				for _, k := range keys {
+					fmt.Fprintf(&sb, "%d:%s;", k, strconv.FormatFloat(agg[k], 'g', -1, 64))
+				}
+				sigs = append(sigs, stateSig{state: s, key: sb.String()})
+			}
+			seen := make(map[string]int)
+			for _, ss := range sigs {
+				id, ok := seen[ss.key]
+				if !ok {
+					id = nextID
+					seen[ss.key] = id
+					nextID++
+				}
+				next[ss.state] = id
+			}
+			if len(seen) > 1 {
+				changed = true
+			}
+		}
+		blockOf = next
+		if !changed {
+			break
+		}
+	}
+
+	// Build the quotient.
+	numBlocks := 0
+	for _, b := range blockOf {
+		if b+1 > numBlocks {
+			numBlocks = b + 1
+		}
+	}
+	blocks := make([][]int, numBlocks)
+	for s, b := range blockOf {
+		blocks[b] = append(blocks[b], s)
+	}
+	qb := mrm.NewBuilder(numBlocks)
+	init := m.Init()
+	for b, members := range blocks {
+		rep := members[0]
+		qb.Reward(b, m.Reward(rep))
+		qb.Name(b, m.Name(rep))
+		for _, l := range labels {
+			if m.HasLabel(rep, l) {
+				qb.Label(b, l)
+			}
+		}
+		var mass float64
+		for _, s := range members {
+			mass += init[s]
+		}
+		if mass > 0 {
+			qb.InitialProb(b, mass)
+		}
+		agg := make(map[int]float64)
+		m.Rates().Row(rep, func(t int, v float64) {
+			if v != 0 {
+				agg[blockOf[t]] += v
+			}
+		})
+		targets := make([]int, 0, len(agg))
+		for t := range agg {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			if t != b {
+				qb.Rate(b, t, agg[t])
+			}
+			// Aggregate rates within the block are self-loops of the
+			// quotient CTMC; they are unobservable and dropped.
+		}
+	}
+	qm, err := qb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lump: quotient: %w", err)
+	}
+	return &Result{Model: qm, BlockOf: blockOf, Blocks: blocks}, nil
+}
+
+// Lift expands per-block values back to per-state values.
+func (r *Result) Lift(blockValues []float64) []float64 {
+	out := make([]float64, len(r.BlockOf))
+	for s, b := range r.BlockOf {
+		out[s] = blockValues[b]
+	}
+	return out
+}

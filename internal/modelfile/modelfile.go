@@ -1,0 +1,167 @@
+// Package modelfile defines the on-disk JSON representation of Markov
+// reward models used by the command-line tools. The format is deliberately
+// simple and explicit:
+//
+//	{
+//	  "states": [
+//	    {"name": "idle", "reward": 100, "labels": ["call_idle"], "init": 1},
+//	    {"name": "busy", "reward": 200, "labels": ["call_active"]}
+//	  ],
+//	  "transitions": [
+//	    {"from": "idle", "to": "busy", "rate": 0.75}
+//	  ]
+//	}
+//
+// States are referenced by name; "init" gives the initial probability
+// (omitted = 0; if all are omitted, the first state is initial).
+package modelfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/performability/csrl/internal/mrm"
+)
+
+// File is the JSON document structure.
+type File struct {
+	States      []State      `json:"states"`
+	Transitions []Transition `json:"transitions"`
+}
+
+// State describes one state of the MRM.
+type State struct {
+	Name   string   `json:"name"`
+	Reward float64  `json:"reward,omitempty"`
+	Labels []string `json:"labels,omitempty"`
+	Init   float64  `json:"init,omitempty"`
+}
+
+// Transition is one rate-matrix entry, optionally carrying an impulse
+// reward earned when the transition fires.
+type Transition struct {
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Rate    float64 `json:"rate"`
+	Impulse float64 `json:"impulse,omitempty"`
+}
+
+// Decode reads and validates a model from JSON.
+func Decode(r io.Reader) (*mrm.MRM, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("modelfile: decode: %w", err)
+	}
+	return f.Build()
+}
+
+// Load reads a model from a file path.
+func Load(path string) (*mrm.MRM, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("modelfile: %w", err)
+	}
+	defer fh.Close()
+	m, err := Decode(fh)
+	if err != nil {
+		return nil, fmt.Errorf("modelfile: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Build assembles the MRM from the document.
+func (f *File) Build() (*mrm.MRM, error) {
+	if len(f.States) == 0 {
+		return nil, fmt.Errorf("modelfile: no states")
+	}
+	idx := make(map[string]int, len(f.States))
+	for i, s := range f.States {
+		if s.Name == "" {
+			return nil, fmt.Errorf("modelfile: state %d has no name", i)
+		}
+		if _, dup := idx[s.Name]; dup {
+			return nil, fmt.Errorf("modelfile: duplicate state name %q", s.Name)
+		}
+		idx[s.Name] = i
+	}
+	b := mrm.NewBuilder(len(f.States))
+	var initSum float64
+	for i, s := range f.States {
+		b.Name(i, s.Name)
+		b.Reward(i, s.Reward)
+		for _, l := range s.Labels {
+			b.Label(i, l)
+		}
+		if s.Init != 0 {
+			b.InitialProb(i, s.Init)
+			initSum += s.Init
+		}
+	}
+	if initSum == 0 {
+		b.InitialState(0)
+	}
+	for _, tr := range f.Transitions {
+		from, ok := idx[tr.From]
+		if !ok {
+			return nil, fmt.Errorf("modelfile: transition from unknown state %q", tr.From)
+		}
+		to, ok := idx[tr.To]
+		if !ok {
+			return nil, fmt.Errorf("modelfile: transition to unknown state %q", tr.To)
+		}
+		b.Rate(from, to, tr.Rate)
+		if tr.Impulse != 0 {
+			b.Impulse(from, to, tr.Impulse)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("modelfile: %w", err)
+	}
+	return m, nil
+}
+
+// Encode writes a model as (indented) JSON.
+func Encode(w io.Writer, m *mrm.MRM) error {
+	f := FromMRM(m)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("modelfile: encode: %w", err)
+	}
+	return nil
+}
+
+// FromMRM converts a model into its document form.
+func FromMRM(m *mrm.MRM) *File {
+	f := &File{}
+	init := m.Init()
+	labels := m.Labels()
+	for s := 0; s < m.N(); s++ {
+		st := State{
+			Name:   m.Name(s),
+			Reward: m.Reward(s),
+			Init:   init[s],
+		}
+		for _, l := range labels {
+			if m.HasLabel(s, l) {
+				st.Labels = append(st.Labels, l)
+			}
+		}
+		sort.Strings(st.Labels)
+		f.States = append(f.States, st)
+	}
+	m.Rates().Each(func(i, j int, v float64) {
+		if v != 0 {
+			f.Transitions = append(f.Transitions, Transition{
+				From: m.Name(i), To: m.Name(j), Rate: v, Impulse: m.Impulse(i, j),
+			})
+		}
+	})
+	return f
+}

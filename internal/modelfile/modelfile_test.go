@@ -1,0 +1,151 @@
+package modelfile
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/performability/csrl/internal/adhoc"
+)
+
+const sample = `{
+  "states": [
+    {"name": "idle", "reward": 100, "labels": ["call_idle"], "init": 1},
+    {"name": "busy", "reward": 200, "labels": ["call_active", "hot"]}
+  ],
+  "transitions": [
+    {"from": "idle", "to": "busy", "rate": 0.75},
+    {"from": "busy", "to": "idle", "rate": 15}
+  ]
+}`
+
+func TestDecode(t *testing.T) {
+	m, err := Decode(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if m.N() != 2 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if m.Name(0) != "idle" || m.Reward(1) != 200 {
+		t.Error("states decoded wrong")
+	}
+	if !m.HasLabel(1, "hot") || !m.HasLabel(0, "call_idle") {
+		t.Error("labels decoded wrong")
+	}
+	if got := m.Rates().At(0, 1); got != 0.75 {
+		t.Errorf("rate = %v", got)
+	}
+	if m.InitialState() != 0 {
+		t.Errorf("initial = %d", m.InitialState())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"empty states", `{"states": [], "transitions": []}`},
+		{"nameless state", `{"states": [{"reward": 1}]}`},
+		{"duplicate name", `{"states": [{"name":"a"},{"name":"a"}]}`},
+		{"unknown from", `{"states": [{"name":"a"}], "transitions":[{"from":"x","to":"a","rate":1}]}`},
+		{"unknown to", `{"states": [{"name":"a"}], "transitions":[{"from":"a","to":"x","rate":1}]}`},
+		{"negative rate", `{"states": [{"name":"a"},{"name":"b"}], "transitions":[{"from":"a","to":"b","rate":-1}]}`},
+		{"unknown field", `{"states": [{"name":"a","bogus":1}]}`},
+		{"not json", `hello`},
+		{"bad init sum", `{"states": [{"name":"a","init":0.4},{"name":"b","init":0.3}]}`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(tc.doc)); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m, err := adhoc.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	m2, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode round trip: %v", err)
+	}
+	if m2.N() != m.N() {
+		t.Fatalf("N: %d vs %d", m2.N(), m.N())
+	}
+	for s := 0; s < m.N(); s++ {
+		if m2.Name(s) != m.Name(s) {
+			t.Errorf("name %d: %q vs %q", s, m2.Name(s), m.Name(s))
+		}
+		if m2.Reward(s) != m.Reward(s) {
+			t.Errorf("reward %d: %v vs %v", s, m2.Reward(s), m.Reward(s))
+		}
+		if math.Abs(m2.ExitRate(s)-m.ExitRate(s)) > 1e-12 {
+			t.Errorf("exit %d: %v vs %v", s, m2.ExitRate(s), m.ExitRate(s))
+		}
+		for _, l := range m.Labels() {
+			if m.HasLabel(s, l) != m2.HasLabel(s, l) {
+				t.Errorf("label %q mismatch on state %d", l, s)
+			}
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if m.N() != 2 {
+		t.Errorf("N = %d", m.N())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestImpulseRoundTrip(t *testing.T) {
+	doc := `{
+  "states": [
+    {"name": "a", "reward": 1},
+    {"name": "b"}
+  ],
+  "transitions": [
+    {"from": "a", "to": "b", "rate": 2, "impulse": 3.5}
+  ]
+}`
+	m, err := Decode(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got := m.Impulse(0, 1); got != 3.5 {
+		t.Fatalf("impulse = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	m2, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if got := m2.Impulse(0, 1); got != 3.5 {
+		t.Errorf("round-trip impulse = %v", got)
+	}
+}

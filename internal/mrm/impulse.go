@@ -1,0 +1,58 @@
+package mrm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// Impulse rewards (paper §2.1 mentions them as excluded "for the sake of
+// simplicity"; §6 lists them as future work): ι(s,s') is earned
+// instantaneously when the transition s→s' fires, in addition to the
+// rate-based reward ρ(s)·t. Of the three computational procedures only the
+// Tijms–Veldman discretisation supports them (the paper's own observation:
+// "the algorithms we develop in this paper are tailored to state-based
+// rewards only"); the simulator supports them exactly.
+
+// Impulse adds ι(from, to) = v to the builder. The transition must also be
+// given a positive rate; this is validated at Build time.
+func (b *Builder) Impulse(from, to int, v float64) *Builder {
+	if !b.checkState(from) || !b.checkState(to) {
+		return b
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		b.errs = append(b.errs, fmt.Errorf("%w: impulse ι(%d,%d)=%v", ErrModel, from, to, v))
+		return b
+	}
+	if v == 0 {
+		return b
+	}
+	if b.impulse == nil {
+		b.impulse = sparse.NewBuilder(b.n)
+	}
+	b.impulse.Add(from, to, v)
+	return b
+}
+
+// HasImpulses reports whether the model carries any impulse rewards.
+func (m *MRM) HasImpulses() bool { return m.impulses != nil }
+
+// Impulses returns the impulse-reward matrix, or nil when the model has
+// none. The matrix is shared; do not modify.
+func (m *MRM) Impulses() *sparse.CSR { return m.impulses }
+
+// Impulse returns ι(from, to), zero when no impulse is attached.
+func (m *MRM) Impulse(from, to int) float64 {
+	if m.impulses == nil {
+		return 0
+	}
+	return m.impulses.At(from, to)
+}
+
+// ErrImpulsesUnsupported is returned by procedures that are defined for
+// state-based rewards only (the occupation-time and pseudo-Erlang methods
+// and the duality transform); use the discretisation procedure for models
+// with impulse rewards.
+var ErrImpulsesUnsupported = errors.New("mrm: model has impulse rewards, which this procedure does not support")

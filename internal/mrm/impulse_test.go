@@ -1,0 +1,104 @@
+package mrm
+
+import (
+	"math"
+	"testing"
+)
+
+func impulseModel(t *testing.T) *MRM {
+	t.Helper()
+	b := NewBuilder(3)
+	b.Rate(0, 1, 2).Rate(1, 2, 1).Rate(1, 0, 3)
+	b.Reward(0, 1)
+	b.Impulse(0, 1, 0.5)
+	b.Impulse(1, 2, 2)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m
+}
+
+func TestImpulseAccessors(t *testing.T) {
+	m := impulseModel(t)
+	if !m.HasImpulses() {
+		t.Fatal("HasImpulses = false")
+	}
+	if got := m.Impulse(0, 1); got != 0.5 {
+		t.Errorf("ι(0,1) = %v", got)
+	}
+	if got := m.Impulse(1, 0); got != 0 {
+		t.Errorf("ι(1,0) = %v, want 0", got)
+	}
+	if m.Impulses() == nil {
+		t.Error("Impulses() = nil")
+	}
+}
+
+func TestNoImpulses(t *testing.T) {
+	b := NewBuilder(2)
+	b.Rate(0, 1, 1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasImpulses() || m.Impulses() != nil || m.Impulse(0, 1) != 0 {
+		t.Error("impulse state leaked into a plain model")
+	}
+}
+
+func TestImpulseValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		prep func(*Builder)
+	}{
+		{"negative", func(b *Builder) { b.Impulse(0, 1, -1) }},
+		{"NaN", func(b *Builder) { b.Impulse(0, 1, math.NaN()) }},
+		{"out of range", func(b *Builder) { b.Impulse(0, 9, 1) }},
+		{"no transition", func(b *Builder) { b.Impulse(1, 0, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(2)
+			b.Rate(0, 1, 1)
+			tc.prep(b)
+			if _, err := b.Build(); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+	// A zero impulse is a no-op, not an error, and does not force an
+	// impulse matrix into existence.
+	b := NewBuilder(2)
+	b.Rate(0, 1, 1)
+	b.Impulse(0, 1, 0)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("zero impulse rejected: %v", err)
+	}
+	if m.HasImpulses() {
+		t.Error("zero impulse materialised a matrix")
+	}
+}
+
+func TestMakeAbsorbingDropsOutgoingImpulses(t *testing.T) {
+	m := impulseModel(t)
+	abs, err := m.MakeAbsorbing(NewStateSetOf(3, 1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := abs.Impulse(1, 2); got != 0 {
+		t.Errorf("outgoing impulse of absorbed state kept: %v", got)
+	}
+	if got := abs.Impulse(0, 1); got != 0.5 {
+		t.Errorf("incoming impulse lost: %v", got)
+	}
+	// Absorbing everything with impulses leaves none.
+	all, err := m.MakeAbsorbing(NewStateSet(3).Complement(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.HasImpulses() {
+		t.Error("fully absorbed model still has impulses")
+	}
+}

@@ -1,0 +1,188 @@
+package mrm
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// StateSet is a fixed-universe set of state indices, used for satisfaction
+// sets Sat(Φ) and for the goal/absorbing sets of the numerical procedures.
+type StateSet struct {
+	bits []uint64
+	n    int
+}
+
+// NewStateSet returns an empty set over the universe {0, …, n-1}.
+func NewStateSet(n int) *StateSet {
+	return &StateSet{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// NewStateSetOf returns a set over {0,…,n-1} containing the given states.
+func NewStateSetOf(n int, states ...int) *StateSet {
+	s := NewStateSet(n)
+	for _, st := range states {
+		s.Add(st)
+	}
+	return s
+}
+
+// Universe returns the size of the universe.
+func (s *StateSet) Universe() int { return s.n }
+
+// Add inserts state i; out-of-universe indices are ignored.
+func (s *StateSet) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.bits[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove deletes state i.
+func (s *StateSet) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.bits[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Contains reports membership of i.
+func (s *StateSet) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Len returns the number of members.
+func (s *StateSet) Len() int {
+	c := 0
+	for _, w := range s.bits {
+		c += popcount(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no members.
+func (s *StateSet) IsEmpty() bool {
+	for _, w := range s.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s *StateSet) Clone() *StateSet {
+	c := NewStateSet(s.n)
+	copy(c.bits, s.bits)
+	return c
+}
+
+// Union returns s ∪ t (universes must match).
+func (s *StateSet) Union(t *StateSet) *StateSet {
+	s.mustMatch(t)
+	u := s.Clone()
+	for i, w := range t.bits {
+		u.bits[i] |= w
+	}
+	return u
+}
+
+// Intersect returns s ∩ t.
+func (s *StateSet) Intersect(t *StateSet) *StateSet {
+	s.mustMatch(t)
+	u := s.Clone()
+	for i, w := range t.bits {
+		u.bits[i] &= w
+	}
+	return u
+}
+
+// Minus returns s \ t.
+func (s *StateSet) Minus(t *StateSet) *StateSet {
+	s.mustMatch(t)
+	u := s.Clone()
+	for i, w := range t.bits {
+		u.bits[i] &^= w
+	}
+	return u
+}
+
+// Complement returns the universe minus s.
+func (s *StateSet) Complement() *StateSet {
+	u := NewStateSet(s.n)
+	for i := range u.bits {
+		u.bits[i] = ^s.bits[i]
+	}
+	// Clear bits beyond the universe.
+	if rem := uint(s.n) & 63; rem != 0 && len(u.bits) > 0 {
+		u.bits[len(u.bits)-1] &= (1 << rem) - 1
+	}
+	return u
+}
+
+// Equal reports set equality.
+func (s *StateSet) Equal(t *StateSet) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.bits {
+		if w != t.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Each calls fn for every member in increasing order.
+func (s *StateSet) Each(fn func(i int)) {
+	for wi, w := range s.bits {
+		for w != 0 {
+			b := w & (-w)
+			fn(wi*64 + trailingZeros(w))
+			w ^= b
+		}
+	}
+}
+
+// Slice returns the members in increasing order.
+func (s *StateSet) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.Each(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Indicator returns the 0/1 membership vector of length Universe().
+func (s *StateSet) Indicator() []float64 {
+	v := make([]float64, s.n)
+	s.Each(func(i int) { v[i] = 1 })
+	return v
+}
+
+// String renders the set as {i, j, …}.
+func (s *StateSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.Each(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", i)
+		first = false
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *StateSet) mustMatch(t *StateSet) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("mrm: state-set universe mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+func popcount(w uint64) int { return bits.OnesCount64(w) }
+
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }

@@ -1,0 +1,130 @@
+package mrm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateSetBasics(t *testing.T) {
+	s := NewStateSet(130) // spans multiple words
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	s.Add(500) // ignored
+	s.Add(-1)  // ignored
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Contains(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Contains(1) || s.Contains(500) || s.Contains(-3) {
+		t.Error("spurious membership")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Len() != 2 {
+		t.Error("Remove failed")
+	}
+	if got := s.Slice(); !reflect.DeepEqual(got, []int{0, 129}) {
+		t.Errorf("Slice = %v", got)
+	}
+	if got := s.String(); got != "{0, 129}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestStateSetAlgebra(t *testing.T) {
+	a := NewStateSetOf(10, 1, 2, 3)
+	b := NewStateSetOf(10, 3, 4)
+	if got := a.Union(b).Slice(); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Slice(); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b).Slice(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := a.Complement().Len(); got != 7 {
+		t.Errorf("Complement size = %d, want 7", got)
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal")
+	}
+	if a.Equal(b) {
+		t.Error("unequal sets reported equal")
+	}
+	if a.Equal(NewStateSet(11)) {
+		t.Error("different universes reported equal")
+	}
+}
+
+func TestComplementBoundary(t *testing.T) {
+	// Universe sizes at and around word boundaries.
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129} {
+		s := NewStateSet(n)
+		c := s.Complement()
+		if c.Len() != n {
+			t.Errorf("n=%d: complement of empty has %d members", n, c.Len())
+		}
+		if c.Contains(n) {
+			t.Errorf("n=%d: complement contains out-of-universe element", n)
+		}
+		if cc := c.Complement(); !cc.IsEmpty() {
+			t.Errorf("n=%d: double complement not empty: %v", n, cc)
+		}
+	}
+}
+
+func TestIndicator(t *testing.T) {
+	s := NewStateSetOf(4, 1, 3)
+	if got := s.Indicator(); !reflect.DeepEqual(got, []float64{0, 1, 0, 1}) {
+		t.Errorf("Indicator = %v", got)
+	}
+}
+
+func TestSetLawsProperty(t *testing.T) {
+	gen := func(rng *rand.Rand, n int) *StateSet {
+		s := NewStateSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+			}
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		a, b := gen(rng, n), gen(rng, n)
+		// De Morgan: ¬(a ∪ b) == ¬a ∩ ¬b
+		if !a.Union(b).Complement().Equal(a.Complement().Intersect(b.Complement())) {
+			return false
+		}
+		// a \ b == a ∩ ¬b
+		if !a.Minus(b).Equal(a.Intersect(b.Complement())) {
+			return false
+		}
+		// |a| + |¬a| == n
+		return a.Len()+a.Complement().Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on universe mismatch")
+		}
+	}()
+	NewStateSet(3).Union(NewStateSet(4))
+}

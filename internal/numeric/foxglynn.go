@@ -1,0 +1,219 @@
+// Package numeric provides the numerical kernels used by the model-checking
+// procedures: Fox–Glynn Poisson weight computation for uniformisation,
+// iterative linear solvers, and small utilities.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PoissonWeights holds truncated, normalised Poisson probabilities as
+// produced by FoxGlynn. Weight(i) ≈ e^{-λ}·λ^i/i! for Left ≤ i ≤ Right and
+// the total mass outside [Left, Right] is below the requested accuracy.
+type PoissonWeights struct {
+	Left, Right int
+	// W[i-Left] is the unnormalised weight of i; divide by TotalWeight.
+	W           []float64
+	TotalWeight float64
+}
+
+// Weight returns the normalised Poisson probability of i, or 0 outside the
+// truncation window.
+func (p *PoissonWeights) Weight(i int) float64 {
+	if i < p.Left || i > p.Right {
+		return 0
+	}
+	return p.W[i-p.Left] / p.TotalWeight
+}
+
+// ErrAccuracy reports that the requested accuracy cannot be met.
+var ErrAccuracy = errors.New("numeric: unachievable accuracy")
+
+// FoxGlynn computes truncated Poisson probabilities for rate q ≥ 0 with total
+// truncation error at most eps, following Fox & Glynn, "Computing Poisson
+// probabilities", CACM 31(4), 1988. The weights are scaled to avoid
+// underflow; normalise by TotalWeight.
+func FoxGlynn(q, eps float64) (*PoissonWeights, error) {
+	switch {
+	case math.IsNaN(q) || q < 0:
+		return nil, fmt.Errorf("numeric: FoxGlynn rate %v out of range", q)
+	case eps <= 0 || eps >= 1:
+		return nil, fmt.Errorf("numeric: FoxGlynn accuracy %v out of range", eps)
+	}
+	if q == 0 {
+		return &PoissonWeights{Left: 0, Right: 0, W: []float64{1}, TotalWeight: 1}, nil
+	}
+	if q < 25 {
+		// Small rates: direct stable computation in log space; e^{-q} does
+		// not underflow and the simple recurrence is accurate.
+		return foxGlynnSmall(q, eps)
+	}
+	return foxGlynnLarge(q, eps)
+}
+
+func foxGlynnSmall(q, eps float64) (*PoissonWeights, error) {
+	// Accumulate terms of the Poisson pmf until the tail is below eps/2.
+	// For q < 25 the mode is small, so a linear scan is cheap.
+	mode := int(q)
+	logP := -q + float64(mode)*math.Log(q) - logFactorial(mode)
+	pMode := math.Exp(logP)
+
+	// Walk left from the mode.
+	left := mode
+	p := pMode
+	for left > 0 {
+		p *= float64(left) / q
+		if p < eps/4 {
+			break
+		}
+		left--
+	}
+	// Walk right from the mode until cumulative tail < eps/2.
+	right := mode
+	p = pMode
+	total := 0.0
+	for {
+		right++
+		p *= q / float64(right)
+		if p < eps/4 && right > mode+2 {
+			break
+		}
+		if right > mode+10_000_000 {
+			return nil, fmt.Errorf("%w: right truncation did not converge for q=%v", ErrAccuracy, q)
+		}
+	}
+	w := make([]float64, right-left+1)
+	// Fill weights by recurrence from the mode outwards for stability.
+	w[mode-left] = pMode
+	for i := mode - 1; i >= left; i-- {
+		w[i-left] = w[i-left+1] * float64(i+1) / q
+	}
+	for i := mode + 1; i <= right; i++ {
+		w[i-left] = w[i-left-1] * q / float64(i)
+	}
+	for _, v := range w {
+		total += v
+	}
+	return &PoissonWeights{Left: left, Right: right, W: w, TotalWeight: total}, nil
+}
+
+func foxGlynnLarge(q, eps float64) (*PoissonWeights, error) {
+	mode := int(q)
+	// Right truncation point via the Chernoff-style bound of Fox–Glynn
+	// (their "finder" with a_λ corrected): choose k such that the right
+	// tail mass is below eps/2.
+	sqrtQ := math.Sqrt(q)
+	var right int
+	{
+		aLambda := (1 + 1/q) * math.Exp(1.0/16) * math.Sqrt2
+		k := 4.0
+		for {
+			d := 1.0 / (1 - math.Exp(-(2.0/9.0)*(k*math.Sqrt2*sqrtQ+1.5)))
+			bound := aLambda * d * math.Exp(-k*k/2) / (k * math.Sqrt(2*math.Pi))
+			if bound <= eps/2 {
+				break
+			}
+			k++
+			if k > 1e6 {
+				return nil, fmt.Errorf("%w: right truncation for q=%v", ErrAccuracy, q)
+			}
+		}
+		right = int(math.Ceil(float64(mode) + k*math.Sqrt2*sqrtQ + 1.5))
+	}
+	// Left truncation point: symmetric bound on the lower tail.
+	var left int
+	{
+		bLambda := (1 + 1/q) * math.Exp(1.0/(8*q))
+		k := 4.0
+		for {
+			bound := bLambda * math.Exp(-k*k/2) / (k * math.Sqrt(2*math.Pi))
+			if bound <= eps/2 {
+				break
+			}
+			k++
+			if k > 1e6 {
+				return nil, fmt.Errorf("%w: left truncation for q=%v", ErrAccuracy, q)
+			}
+		}
+		left = int(math.Floor(float64(mode) - k*sqrtQ - 1.5))
+		if left < 0 {
+			left = 0
+		}
+	}
+
+	w := make([]float64, right-left+1)
+	// Scaled weights: start from a large constant at the mode to protect
+	// against underflow at the truncation points, then normalise.
+	const scale = 1e280
+	w[mode-left] = scale * 1e-20
+	for i := mode - 1; i >= left; i-- {
+		w[i-left] = w[i-left+1] * float64(i+1) / q
+	}
+	for i := mode + 1; i <= right; i++ {
+		w[i-left] = w[i-left-1] * q / float64(i)
+	}
+	var total float64
+	// Sum smallest-to-largest from both ends for accuracy.
+	lo, hi := 0, len(w)-1
+	for lo < hi {
+		if w[lo] <= w[hi] {
+			total += w[lo]
+			lo++
+		} else {
+			total += w[hi]
+			hi--
+		}
+	}
+	total += w[lo]
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		return nil, fmt.Errorf("%w: weight normalisation failed for q=%v", ErrAccuracy, q)
+	}
+	return &PoissonWeights{Left: left, Right: right, W: w, TotalWeight: total}, nil
+}
+
+// PoissonTruncation returns the smallest N such that the Poisson(q)
+// distribution has cumulative mass ≥ 1-eps on {0..N}. This is the a-priori
+// step bound N_ε used by the occupation-time algorithm (paper §4.4).
+func PoissonTruncation(q, eps float64) (int, error) {
+	if q < 0 || math.IsNaN(q) {
+		return 0, fmt.Errorf("numeric: PoissonTruncation rate %v out of range", q)
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("numeric: PoissonTruncation accuracy %v out of range", eps)
+	}
+	if q == 0 {
+		return 0, nil
+	}
+	// Accumulate pmf in a numerically safe way using log-space terms.
+	logTerm := -q // log pmf(0)
+	cum := math.Exp(logTerm)
+	n := 0
+	for cum < 1-eps {
+		n++
+		logTerm += math.Log(q) - math.Log(float64(n))
+		cum += math.Exp(logTerm)
+		if n > 100_000_000 {
+			return 0, fmt.Errorf("%w: PoissonTruncation for q=%v eps=%v", ErrAccuracy, q, eps)
+		}
+	}
+	return n, nil
+}
+
+// PoissonPMF returns the Poisson(q) probability of n, computed in log space.
+func PoissonPMF(q float64, n int) float64 {
+	if q == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(-q + float64(n)*math.Log(q) - logFactorial(n))
+}
+
+// logFactorial returns ln(n!) via the log-gamma function.
+func logFactorial(n int) float64 {
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}

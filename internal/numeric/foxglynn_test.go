@@ -1,0 +1,162 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// poissonRef computes the Poisson pmf directly in log space.
+func poissonRef(q float64, n int) float64 {
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return math.Exp(-q + float64(n)*math.Log(q) - lg)
+}
+
+func TestFoxGlynnSmallRates(t *testing.T) {
+	for _, q := range []float64{0.1, 1, 5, 20, 24.9} {
+		w, err := FoxGlynn(q, 1e-12)
+		if err != nil {
+			t.Fatalf("FoxGlynn(%v): %v", q, err)
+		}
+		// Weights must match the true pmf pointwise.
+		for i := w.Left; i <= w.Right; i++ {
+			ref := poissonRef(q, i)
+			if got := w.Weight(i); math.Abs(got-ref) > 1e-12*(1+ref) {
+				t.Errorf("q=%v: weight(%d) = %v, want %v", q, i, got, ref)
+			}
+		}
+		// Total truncated mass ≥ 1 - eps.
+		var mass float64
+		for i := w.Left; i <= w.Right; i++ {
+			mass += w.Weight(i)
+		}
+		if mass < 1-1e-10 || mass > 1+1e-10 {
+			t.Errorf("q=%v: normalised mass = %v", q, mass)
+		}
+	}
+}
+
+func TestFoxGlynnLargeRates(t *testing.T) {
+	for _, q := range []float64{25, 100, 468, 5000, 1e5} {
+		w, err := FoxGlynn(q, 1e-10)
+		if err != nil {
+			t.Fatalf("FoxGlynn(%v): %v", q, err)
+		}
+		if w.Left < 0 || w.Right <= w.Left {
+			t.Fatalf("q=%v: bad window [%d,%d]", q, w.Left, w.Right)
+		}
+		// The window must contain the mode and hold ≈ all the mass.
+		mode := int(q)
+		if mode < w.Left || mode > w.Right {
+			t.Errorf("q=%v: mode %d outside window [%d,%d]", q, mode, w.Left, w.Right)
+		}
+		// Compare a few weights around the mode to the reference pmf.
+		for _, i := range []int{mode - 1, mode, mode + 1} {
+			ref := poissonRef(q, i)
+			if got := w.Weight(i); math.Abs(got-ref)/ref > 1e-8 {
+				t.Errorf("q=%v: weight(%d) relative error %v", q, i, math.Abs(got-ref)/ref)
+			}
+		}
+		// Window width should be O(sqrt q), not O(q).
+		if width := w.Right - w.Left; float64(width) > 30*math.Sqrt(q)+40 {
+			t.Errorf("q=%v: window width %d too large", q, width)
+		}
+	}
+}
+
+func TestFoxGlynnRejectsBadInput(t *testing.T) {
+	if _, err := FoxGlynn(-1, 1e-6); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := FoxGlynn(math.NaN(), 1e-6); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if _, err := FoxGlynn(1, 0); err == nil {
+		t.Error("zero accuracy accepted")
+	}
+	if _, err := FoxGlynn(1, 1.5); err == nil {
+		t.Error("accuracy > 1 accepted")
+	}
+}
+
+func TestFoxGlynnZeroRate(t *testing.T) {
+	w, err := FoxGlynn(0, 1e-6)
+	if err != nil {
+		t.Fatalf("FoxGlynn(0): %v", err)
+	}
+	if w.Weight(0) != 1 || w.Weight(1) != 0 {
+		t.Errorf("degenerate weights wrong: %v, %v", w.Weight(0), w.Weight(1))
+	}
+}
+
+func TestWeightOutsideWindowIsZero(t *testing.T) {
+	w, err := FoxGlynn(100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Weight(w.Left-1) != 0 || w.Weight(w.Right+1) != 0 {
+		t.Error("weights outside the truncation window must be zero")
+	}
+}
+
+func TestPoissonTruncation(t *testing.T) {
+	// The paper's Table 2 N-column: λt = 19.5·24 = 468.
+	rows := []struct {
+		eps  float64
+		want int
+	}{
+		{1e-1, 496}, {1e-2, 519}, {1e-3, 536}, {1e-4, 551},
+		{1e-5, 563}, {1e-6, 574}, {1e-7, 585}, {1e-8, 594},
+	}
+	for _, row := range rows {
+		got, err := PoissonTruncation(468, row.eps)
+		if err != nil {
+			t.Fatalf("PoissonTruncation(468, %v): %v", row.eps, err)
+		}
+		if got != row.want {
+			t.Errorf("N(468, %.0e) = %d, paper Table 2 says %d", row.eps, got, row.want)
+		}
+	}
+}
+
+func TestPoissonTruncationProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := rng.Float64() * 200
+		n, err := PoissonTruncation(q, 1e-6)
+		if err != nil {
+			return false
+		}
+		// Cumulative mass up to n must reach 1-eps; up to n-1 must not.
+		var cum float64
+		for i := 0; i <= n; i++ {
+			cum += poissonRef(q, i)
+		}
+		if cum < 1-1e-6-1e-12 {
+			return false
+		}
+		if n > 0 {
+			cum -= poissonRef(q, n)
+			if cum >= 1-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonPMF(t *testing.T) {
+	if got := PoissonPMF(0, 0); got != 1 {
+		t.Errorf("PMF(0,0) = %v, want 1", got)
+	}
+	if got := PoissonPMF(0, 3); got != 0 {
+		t.Errorf("PMF(0,3) = %v, want 0", got)
+	}
+	if got, want := PoissonPMF(2, 2), 2*math.Exp(-2); math.Abs(got-want) > 1e-15 {
+		t.Errorf("PMF(2,2) = %v, want %v", got, want)
+	}
+}

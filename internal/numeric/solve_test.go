@@ -1,0 +1,178 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/performability/csrl/internal/sparse"
+)
+
+func mustCSR(t *testing.T, n int, ts []sparse.Triplet) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.NewFromTriplets(n, ts)
+	if err != nil {
+		t.Fatalf("matrix: %v", err)
+	}
+	return m
+}
+
+// The fixed-point system of a simple random walk: from state 0, reach the
+// right end (prob contributes to b) with p=0.5 or bounce left.
+func TestSolveGaussSeidelGamblersRuin(t *testing.T) {
+	// States 0..3 internal; absorbing win/lose folded into b. Fair coin.
+	// x_i = 0.5 x_{i-1} + 0.5 x_{i+1}, x_{-1}=0 (lose), x_4=1 (win).
+	n := 4
+	var ts []sparse.Triplet
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			ts = append(ts, sparse.Triplet{Row: i, Col: i - 1, Val: 0.5})
+		}
+		if i < n-1 {
+			ts = append(ts, sparse.Triplet{Row: i, Col: i + 1, Val: 0.5})
+		} else {
+			b[i] = 0.5
+		}
+	}
+	a := mustCSR(t, n, ts)
+	x, err := SolveGaussSeidel(a, b, DefaultSolveOptions())
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(i+1) / 5 // classical gambler's ruin
+		if math.Abs(x[i]-want) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestJacobiMatchesGaussSeidel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		var ts []sparse.Triplet
+		b := make([]float64, n)
+		// Random substochastic matrix with leak, so (I-A) is an M-matrix.
+		for i := 0; i < n; i++ {
+			remaining := 0.9 * rng.Float64()
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					w := remaining * rng.Float64()
+					remaining -= w
+					if w > 0 && i != j {
+						ts = append(ts, sparse.Triplet{Row: i, Col: j, Val: w})
+					}
+				}
+			}
+			b[i] = rng.Float64()
+		}
+		a, err := sparse.NewFromTriplets(n, ts)
+		if err != nil {
+			return false
+		}
+		x1, err1 := SolveGaussSeidel(a, b, DefaultSolveOptions())
+		x2, err2 := SolveJacobi(a, b, DefaultSolveOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sparse.MaxDiff(x1, x2) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveRejectsBadRHS(t *testing.T) {
+	a := mustCSR(t, 2, nil)
+	if _, err := SolveGaussSeidel(a, []float64{1}, DefaultSolveOptions()); err == nil {
+		t.Error("length mismatch accepted by Gauss-Seidel")
+	}
+	if _, err := SolveJacobi(a, []float64{1}, DefaultSolveOptions()); err == nil {
+		t.Error("length mismatch accepted by Jacobi")
+	}
+}
+
+func TestSolveNoConvergence(t *testing.T) {
+	// x = x + 1 never converges: A = I (diagonal 1 → treated as fixed rows),
+	// so instead use a slowly mixing chain with a tiny iteration budget.
+	a := mustCSR(t, 2, []sparse.Triplet{
+		{Row: 0, Col: 1, Val: 0.999999},
+		{Row: 1, Col: 0, Val: 0.999999},
+	})
+	opts := SolveOptions{Tolerance: 1e-15, MaxIterations: 3}
+	if _, err := SolveGaussSeidel(a, []float64{1, 1}, opts); !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("want ErrNoConvergence, got %v", err)
+	}
+}
+
+func TestGaussianEliminate(t *testing.T) {
+	m := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	rhs := []float64{8, -11, -3}
+	x, err := GaussianEliminate(m, rhs)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestGaussianEliminateSingular(t *testing.T) {
+	m := [][]float64{{1, 1}, {2, 2}}
+	if _, err := GaussianEliminate(m, []float64{1, 2}); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestGaussianEliminateNeedsPivoting(t *testing.T) {
+	// Zero leading pivot forces a row swap.
+	m := [][]float64{{0, 1}, {1, 0}}
+	x, err := GaussianEliminate(m, []float64{3, 4})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if x[0] != 4 || x[1] != 3 {
+		t.Errorf("x = %v, want [4 3]", x)
+	}
+}
+
+func TestPowerIteration(t *testing.T) {
+	// Two-state chain with P = [[0.5,0.5],[0.25,0.75]]: stationary (1/3, 2/3).
+	p := mustCSR(t, 2, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 0.5}, {Row: 0, Col: 1, Val: 0.5},
+		{Row: 1, Col: 0, Val: 0.25}, {Row: 1, Col: 1, Val: 0.75},
+	})
+	pi, err := PowerIteration(p, SolveOptions{})
+	if err != nil {
+		t.Fatalf("power iteration: %v", err)
+	}
+	if math.Abs(pi[0]-1.0/3) > 1e-9 || math.Abs(pi[1]-2.0/3) > 1e-9 {
+		t.Errorf("pi = %v, want [1/3 2/3]", pi)
+	}
+}
+
+func TestPowerIterationPeriodicChain(t *testing.T) {
+	// A strictly periodic chain only converges thanks to damping.
+	p := mustCSR(t, 2, []sparse.Triplet{
+		{Row: 0, Col: 1, Val: 1},
+		{Row: 1, Col: 0, Val: 1},
+	})
+	pi, err := PowerIteration(p, SolveOptions{})
+	if err != nil {
+		t.Fatalf("power iteration: %v", err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-9 {
+		t.Errorf("pi = %v, want [0.5 0.5]", pi)
+	}
+}

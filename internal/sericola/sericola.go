@@ -1,0 +1,397 @@
+// Package sericola implements the occupation-time distribution algorithm of
+// Section 4.4 of the paper, based on B. Sericola, "Occupation times in
+// Markov processes", Stochastic Models 16(5), 2000 (Theorem 5.6).
+//
+// For an MRM with distinct rewards ρ₀ < ρ₁ < … < ρ_m (ρ₀ = 0) it computes
+//
+//	H_{ij}(t, r) = Pr{Y_t > r, X_t = j | X₀ = i}
+//
+// for r in the band [ρ_{h−1}·t, ρ_h·t) via uniformisation:
+//
+//	H(t,r) = Σ_{n≥0} e^{-λt}(λt)ⁿ/n! · Σ_{k=0}^{n} C(n,k) x_h^k (1-x_h)^{n-k} · C(h,n,k)
+//
+// with x_h = (r − ρ_{h−1}t)/((ρ_h − ρ_{h−1})t) and matrices C(h,n,k)
+// defined by a band-wise convex-combination recursion. The matrices satisfy
+// 0 ≤ C(h,n,k) ≤ Pⁿ (Sericola, Cor. 5.8), so the inner sum is bounded by 1
+// and the Poisson tail yields the a-priori truncation point N_ε — the only
+// one of the paper's three procedures with an a-priori error bound.
+package sericola
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// Options configures the computation.
+type Options struct {
+	// Epsilon is the a-priori truncation error bound ε (Table 2 sweeps it).
+	Epsilon float64
+	// Lambda overrides the uniformisation rate (0 = automatic).
+	Lambda float64
+}
+
+// DefaultOptions matches the most accurate row of Table 2.
+func DefaultOptions() Options { return Options{Epsilon: 1e-8} }
+
+// Result carries the reachability values and the number of uniformisation
+// steps N that were needed (column "N" of Table 2).
+type Result struct {
+	// Values[i] = Pr{Y_t ≤ r, X_t ∈ goal | X₀ = i}.
+	Values []float64
+	// N is the truncation point N_ε of the uniformisation series.
+	N int
+}
+
+// ReachProbAll computes Pr{Y_t ≤ r, X_t ∈ goal | X₀ = i} for every state i,
+// the quantity required by Theorem 2 of the paper.
+func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*Result, error) {
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = DefaultOptions().Epsilon
+	}
+	n := m.N()
+	if goal.Universe() != n {
+		return nil, fmt.Errorf("sericola: goal universe %d for %d states", goal.Universe(), n)
+	}
+	if m.HasImpulses() {
+		return nil, fmt.Errorf("sericola: %w", mrm.ErrImpulsesUnsupported)
+	}
+	if t < 0 || r < 0 {
+		return nil, fmt.Errorf("sericola: negative bound t=%v r=%v", t, r)
+	}
+	if t == 0 {
+		// Y_0 = 0 ≤ r; the chain has not moved.
+		res := &Result{Values: make([]float64, n)}
+		goal.Each(func(i int) { res.Values[i] = 1 })
+		return res, nil
+	}
+
+	// Shift rewards so that the smallest reward is 0 (the theorem requires
+	// ρ₀ = 0): Y_t = ρ_min·t + Y'_t deterministically.
+	rewards := m.DistinctRewards()
+	rhoMin := rewards[0]
+	rShift := r - rhoMin*t
+	if rShift < 0 {
+		// The accumulated reward exceeds r with certainty.
+		return &Result{Values: make([]float64, n)}, nil
+	}
+	shifted := make([]float64, len(rewards))
+	for i, v := range rewards {
+		shifted[i] = v - rhoMin
+	}
+	mBands := len(shifted) - 1 // shifted[0] = 0 = ρ₀
+
+	lambda := opts.Lambda
+	if lambda == 0 {
+		lambda = m.UniformisationRate()
+	}
+
+	if mBands == 0 || rShift >= shifted[mBands]*t {
+		// Either all rewards are equal (Y_t = ρ·t ≤ r guaranteed by the
+		// rShift check above) or the bound exceeds the maximal accumulable
+		// reward: the reward constraint is vacuous and a plain transient
+		// analysis suffices.
+		vals, err := transientGoal(m, goal, t, lambda, opts.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Values: vals}, nil
+	}
+
+	// Locate the band h with rShift ∈ [ρ_{h-1}t, ρ_h t).
+	h := 1
+	for shifted[h]*t <= rShift {
+		h++
+	}
+	x := (rShift - shifted[h-1]*t) / ((shifted[h] - shifted[h-1]) * t)
+
+	nSteps, err := numeric.PoissonTruncation(lambda*t, opts.Epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("sericola: %w", err)
+	}
+
+	p, err := m.Uniformised(lambda)
+	if err != nil {
+		return nil, fmt.Errorf("sericola: %w", err)
+	}
+
+	// Per-state shifted rewards and band classification.
+	rho := make([]float64, n)
+	for s := 0; s < n; s++ {
+		rho[s] = m.Reward(s) - rhoMin
+	}
+
+	hMat, tMat := run(p, rho, shifted, h, x, lambda*t, nSteps)
+
+	res := &Result{Values: make([]float64, n), N: nSteps}
+	goalIdx := goal.Slice()
+	for i := 0; i < n; i++ {
+		var v float64
+		for _, j := range goalIdx {
+			v += tMat[i*n+j] - hMat[i*n+j]
+		}
+		// Clamp tiny negative values from floating-point cancellation.
+		if v < 0 && v > -1e-12 {
+			v = 0
+		}
+		res.Values[i] = v
+	}
+	return res, nil
+}
+
+// ReachProb computes the Theorem 2 quantity from the model's initial
+// distribution.
+func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (float64, int, error) {
+	res, err := ReachProbAll(m, goal, t, r, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	var v float64
+	for s, p := range m.Init() {
+		v += p * res.Values[s]
+	}
+	return v, res.N, nil
+}
+
+// run executes the C(h,n,k) recursion and returns (H, Pois-weighted
+// transient matrix), both flattened row-major n×n.
+func run(p *sparse.CSR, rho, bands []float64, hTarget int, x, qt float64, nSteps int) (hMat, tMat []float64) {
+	n := p.Dim()
+	mBands := len(bands) - 1
+
+	// Row classification per band: up(h, i) ⇔ ρ_i ≥ ρ_h. Because bands are
+	// consecutive distinct rewards, ¬up(h,i) ⇔ ρ_i ≤ ρ_{h−1}.
+	up := make([][]bool, mBands+1)
+	for h := 1; h <= mBands; h++ {
+		up[h] = make([]bool, n)
+		for i := 0; i < n; i++ {
+			up[h][i] = rho[i] >= bands[h]
+		}
+	}
+
+	sz := n * n
+	newMat := func() []float64 { return make([]float64, sz) }
+
+	// C matrices for the previous and current level: cur[h][k], h ∈ 1..m,
+	// k ∈ 0..level. Two banks of matrices are swapped between levels so
+	// the O(m·N) matrices are allocated once, not once per level.
+	prev := make([][][]float64, mBands+1)
+	cur := make([][][]float64, mBands+1)
+	spare := make([][][]float64, mBands+1) // bank reused as the next cur
+	pc := make([][][]float64, mBands+1)    // pc[h][k] = P·prev[h][k]
+
+	// Pⁿ (dense) and its predecessor.
+	pn := newMat()
+	for i := 0; i < n; i++ {
+		pn[i*n+i] = 1
+	}
+	pnNext := newMat()
+
+	hMat = newMat()
+	tMat = newMat()
+
+	// Log-factorials for binomial pmf terms.
+	lf := make([]float64, nSteps+2)
+	for i := 2; i < len(lf); i++ {
+		lf[i] = lf[i-1] + math.Log(float64(i))
+	}
+	binomPMF := func(nn, k int) float64 {
+		switch {
+		case x == 0:
+			if k == 0 {
+				return 1
+			}
+			return 0
+		case x == 1:
+			if k == nn {
+				return 1
+			}
+			return 0
+		}
+		return math.Exp(lf[nn] - lf[k] - lf[nn-k] +
+			float64(k)*math.Log(x) + float64(nn-k)*math.Log(1-x))
+	}
+
+	logQt := math.Log(qt)
+	poisPMF := func(nn int) float64 {
+		return math.Exp(-qt + float64(nn)*logQt - lf[nn])
+	}
+
+	// Level n = 0: C(h,0,0) = diag(1{up(h,i)}).
+	for h := 1; h <= mBands; h++ {
+		c := newMat()
+		for i := 0; i < n; i++ {
+			if up[h][i] {
+				c[i*n+i] = 1
+			}
+		}
+		cur[h] = [][]float64{c}
+	}
+	accumulate := func(level int) {
+		w := poisPMF(level)
+		if w == 0 {
+			return
+		}
+		for idx := 0; idx < sz; idx++ {
+			tMat[idx] += w * pn[idx]
+		}
+		ck := cur[hTarget]
+		for k := 0; k <= level; k++ {
+			bw := binomPMF(level, k)
+			if bw == 0 {
+				continue
+			}
+			c := ck[k]
+			f := w * bw
+			for idx := 0; idx < sz; idx++ {
+				hMat[idx] += f * c[idx]
+			}
+		}
+	}
+	accumulate(0)
+
+	mulRow := func(dst, src []float64, i int) {
+		// dst row i = (P·src) row i.
+		base := i * n
+		for j := 0; j < n; j++ {
+			dst[base+j] = 0
+		}
+		p.Row(i, func(col int, v float64) {
+			srow := col * n
+			for j := 0; j < n; j++ {
+				dst[base+j] += v * src[srow+j]
+			}
+		})
+	}
+
+	for level := 1; level <= nSteps; level++ {
+		// PC[h][k] = P·C(h, level−1, k).
+		for h := 1; h <= mBands; h++ {
+			prev[h], spare[h] = cur[h], prev[h]
+			if pc[h] == nil {
+				pc[h] = make([][]float64, nSteps)
+			}
+			for k := 0; k < level; k++ {
+				if pc[h][k] == nil {
+					pc[h][k] = newMat()
+				}
+				dst, src := pc[h][k], prev[h][k]
+				for i := 0; i < n; i++ {
+					mulRow(dst, src, i)
+				}
+			}
+			// Recycle the level-2 bank; every entry is fully overwritten
+			// by the sweeps below except the explicitly cleared base case.
+			bank := spare[h]
+			if cap(bank) < level+1 {
+				grown := make([][]float64, level+1, nSteps+1)
+				copy(grown, bank)
+				bank = grown
+			}
+			bank = bank[:level+1]
+			for k := 0; k <= level; k++ {
+				if bank[k] == nil {
+					bank[k] = newMat()
+				}
+			}
+			cur[h] = bank
+		}
+		// Pⁿ.
+		for i := 0; i < n; i++ {
+			mulRow(pnNext, pn, i)
+		}
+		pn, pnNext = pnNext, pn
+
+		// Up-row sweep: increasing h, increasing k.
+		for h := 1; h <= mBands; h++ {
+			dh := bands[h] - bands[h-1]
+			for i := 0; i < n; i++ {
+				if !up[h][i] {
+					continue
+				}
+				row := i * n
+				// Base k = 0.
+				var baseRow []float64
+				if h == 1 {
+					baseRow = pn
+				} else {
+					baseRow = cur[h-1][level]
+				}
+				copy(cur[h][0][row:row+n], baseRow[row:row+n])
+				// k = 1..level.
+				a := (rho[i] - bands[h]) / (rho[i] - bands[h-1])
+				b := dh / (rho[i] - bands[h-1])
+				for k := 1; k <= level; k++ {
+					dst := cur[h][k]
+					prevK := cur[h][k-1]
+					pck := pc[h][k-1]
+					for j := 0; j < n; j++ {
+						dst[row+j] = a*prevK[row+j] + b*pck[row+j]
+					}
+				}
+			}
+		}
+		// Down-row sweep: decreasing h, decreasing k.
+		for h := mBands; h >= 1; h-- {
+			dh := bands[h] - bands[h-1]
+			for i := 0; i < n; i++ {
+				if up[h][i] {
+					continue
+				}
+				row := i * n
+				// Base k = level: C(h,n,n) = C(h+1,n,0), or 0 in the top
+				// band (explicitly cleared — the buffers are recycled).
+				if h < mBands {
+					copy(cur[h][level][row:row+n], cur[h+1][0][row:row+n])
+				} else {
+					base := cur[h][level]
+					for j := 0; j < n; j++ {
+						base[row+j] = 0
+					}
+				}
+				a := (bands[h-1] - rho[i]) / (bands[h] - rho[i])
+				b := dh / (bands[h] - rho[i])
+				for k := level - 1; k >= 0; k-- {
+					dst := cur[h][k]
+					nextK := cur[h][k+1]
+					pck := pc[h][k]
+					for j := 0; j < n; j++ {
+						dst[row+j] = a*nextK[row+j] + b*pck[row+j]
+					}
+				}
+			}
+		}
+		accumulate(level)
+	}
+	return hMat, tMat
+}
+
+// transientGoal returns Σ_{j∈goal} Pr_i{X_t = j} for all i by backward
+// uniformisation — the degenerate case where the reward bound is vacuous.
+func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda, eps float64) ([]float64, error) {
+	p, err := m.Uniformised(lambda)
+	if err != nil {
+		return nil, err
+	}
+	w, err := numeric.FoxGlynn(lambda*t, eps)
+	if err != nil {
+		return nil, err
+	}
+	n := m.N()
+	cur := goal.Indicator()
+	next := make([]float64, n)
+	acc := make([]float64, n)
+	for step := 0; step <= w.Right; step++ {
+		if step >= w.Left {
+			sparse.AXPY(w.Weight(step), cur, acc)
+		}
+		if step < w.Right {
+			p.MulVec(next, cur)
+			cur, next = next, cur
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window is a closed interval [Lo, Hi] used for the general-interval until
+// estimator; Hi may be +Inf.
+type Window struct {
+	Lo, Hi float64
+}
+
+// UntilProbInterval estimates Pr{Φ U^I_J Ψ} for arbitrary intervals I
+// (time) and J (reward) directly on path semantics (paper §2.3): a path
+// satisfies the formula if there is an instant t' ∈ I at which it occupies
+// a Ψ-state with accumulated reward Y(t') ∈ J, and it occupies Φ-states at
+// every instant before t'. This estimator is the reference oracle for the
+// general-interval extension (future work in the paper's §6).
+func (s *Simulator) UntilProbInterval(from int, phi, psi StateSetLike, timeI, rewardJ Window, paths int) (Estimate, error) {
+	if paths <= 0 {
+		return Estimate{}, fmt.Errorf("sim: path count %d must be positive", paths)
+	}
+	if timeI.Lo < 0 || timeI.Lo > timeI.Hi || rewardJ.Lo < 0 || rewardJ.Lo > rewardJ.Hi {
+		return Estimate{}, fmt.Errorf("sim: invalid windows I=%+v J=%+v", timeI, rewardJ)
+	}
+	hits := 0
+	for i := 0; i < paths; i++ {
+		if s.sampleUntilInterval(from, phi, psi, timeI, rewardJ) {
+			hits++
+		}
+	}
+	pHat := float64(hits) / float64(paths)
+	hw := 1.96 * math.Sqrt(pHat*(1-pHat)/float64(paths))
+	return Estimate{Value: pHat, HalfWidth: hw, Paths: paths}, nil
+}
+
+// StateSetLike is the minimal membership interface the estimator needs;
+// *mrm.StateSet satisfies it.
+type StateSetLike interface {
+	Contains(i int) bool
+}
+
+func (s *Simulator) sampleUntilInterval(from int, phi, psi StateSetLike, timeI, rewardJ Window) bool {
+	var (
+		state = from
+		now   float64
+		y     float64
+	)
+	// Horizon beyond which no instant can fall into I.
+	horizon := timeI.Hi
+	for {
+		e := s.m.ExitRate(state)
+		var sojourn float64
+		if e == 0 {
+			sojourn = math.Inf(1)
+		} else {
+			sojourn = s.rng.ExpFloat64() / e
+		}
+		exit := now + sojourn
+		rho := s.m.Reward(state)
+
+		if psi.Contains(state) {
+			// Candidate instants within this sojourn. At the entry instant
+			// the prefix consists of strictly earlier states only; for an
+			// interior instant the current state must also satisfy Φ.
+			if hitWithin(now, now, y, rho, timeI, rewardJ) {
+				return true
+			}
+			if phi.Contains(state) && hitWithin(now, exit, y, rho, timeI, rewardJ) {
+				return true
+			}
+		}
+		if !phi.Contains(state) {
+			return false // the prefix condition fails for every later t'
+		}
+		if exit > horizon || e == 0 {
+			return false // no future instant can fall into I
+		}
+		now = exit
+		y += sojourn * rho
+		var imp float64
+		state, imp = s.next(state, e)
+		y += imp
+	}
+}
+
+// hitWithin reports whether some instant t' in the sojourn window
+// [entry, exit] satisfies t' ∈ I and y + (t'−entry)·rho ∈ J.
+func hitWithin(entry, exit, y, rho float64, timeI, rewardJ Window) bool {
+	lo := math.Max(entry, timeI.Lo)
+	hi := math.Min(exit, timeI.Hi)
+	if lo > hi {
+		return false
+	}
+	// Reward constraint as a window on t'.
+	if rho == 0 {
+		if y < rewardJ.Lo || y > rewardJ.Hi {
+			return false
+		}
+		return true
+	}
+	rLo := entry + (rewardJ.Lo-y)/rho
+	rHi := entry + (rewardJ.Hi-y)/rho
+	lo = math.Max(lo, rLo)
+	hi = math.Min(hi, rHi)
+	return lo <= hi
+}

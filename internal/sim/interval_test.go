@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/mrm"
+)
+
+func TestHitWithin(t *testing.T) {
+	tests := []struct {
+		name                string
+		entry, exit, y, rho float64
+		timeI, rewardJ      Window
+		want                bool
+	}{
+		{
+			name:  "plain overlap",
+			entry: 0, exit: 2, y: 0, rho: 1,
+			timeI: Window{0, 10}, rewardJ: Window{0, 10},
+			want: true,
+		},
+		{
+			name:  "time window misses sojourn",
+			entry: 0, exit: 1, y: 0, rho: 1,
+			timeI: Window{2, 3}, rewardJ: Window{0, 10},
+			want: false,
+		},
+		{
+			name:  "reward reached mid-sojourn",
+			entry: 0, exit: 4, y: 0, rho: 1,
+			timeI: Window{0, 10}, rewardJ: Window{2, 3},
+			want: true, // Y crosses [2,3] at t' ∈ [2,3]
+		},
+		{
+			name:  "reward window already passed",
+			entry: 0, exit: 4, y: 5, rho: 1,
+			timeI: Window{0, 10}, rewardJ: Window{2, 3},
+			want: false,
+		},
+		{
+			name:  "zero reward rate inside window",
+			entry: 0, exit: 4, y: 2.5, rho: 0,
+			timeI: Window{1, 2}, rewardJ: Window{2, 3},
+			want: true,
+		},
+		{
+			name:  "zero reward rate outside window",
+			entry: 0, exit: 4, y: 5, rho: 0,
+			timeI: Window{1, 2}, rewardJ: Window{2, 3},
+			want: false,
+		},
+		{
+			name:  "joint feasibility needs intersection",
+			entry: 0, exit: 10, y: 0, rho: 1,
+			// time allows [0,2], reward needs t' ≥ 5: incompatible.
+			timeI: Window{0, 2}, rewardJ: Window{5, 6},
+			want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := hitWithin(tt.entry, tt.exit, tt.y, tt.rho, tt.timeI, tt.rewardJ)
+			if got != tt.want {
+				t.Errorf("hitWithin = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUntilProbIntervalDegeneratesToUntilProb(t *testing.T) {
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 2).Rate(1, 2, 3).Rate(1, 0, 1)
+	b.Reward(0, 1).Reward(1, 2)
+	b.Label(0, "phi").Label(1, "phi").Label(2, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, psi := m.Label("phi"), m.Label("psi")
+	// With I=[0,t], J=[0,r] the interval estimator measures the same event
+	// as the plain estimator.
+	a, err := New(m, 5).UntilProb(0, phi, psi, 2, 3, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEst, err := New(m, 6).UntilProbInterval(0, phi, psi, Window{0, 2}, Window{0, 3}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Value-bEst.Value) > a.HalfWidth+bEst.HalfWidth {
+		t.Errorf("plain %v vs interval %v", a, bEst)
+	}
+}
+
+func TestUntilProbIntervalStartInPsi(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1)
+	b.Label(0, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, 1)
+	psi := m.Label("psi")
+	phi := mrm.NewStateSet(2) // empty: only the entry instant can satisfy
+	// 0 ∈ I and 0 ∈ J: satisfied at t' = 0.
+	est, err := s.UntilProbInterval(0, phi, psi, Window{0, 1}, Window{0, 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value != 1 {
+		t.Errorf("entry-instant satisfaction: %v, want 1", est.Value)
+	}
+	// t1 > 0 and Φ empty: the prefix condition fails for any t' > 0.
+	est, err = s.UntilProbInterval(0, phi, psi, Window{0.5, 1}, Window{0, 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value != 0 {
+		t.Errorf("prefix violation: %v, want 0", est.Value)
+	}
+}
+
+func TestUntilProbIntervalValidation(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1)
+	b.Label(1, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, 1)
+	psi := m.Label("psi")
+	all := mrm.NewStateSet(2).Complement()
+	if _, err := s.UntilProbInterval(0, all, psi, Window{2, 1}, Window{0, 1}, 10); err == nil {
+		t.Error("inverted time window accepted")
+	}
+	if _, err := s.UntilProbInterval(0, all, psi, Window{0, 1}, Window{-1, 1}, 10); err == nil {
+		t.Error("negative reward window accepted")
+	}
+	if _, err := s.UntilProbInterval(0, all, psi, Window{0, 1}, Window{0, 1}, 0); err == nil {
+		t.Error("zero paths accepted")
+	}
+}
+
+func TestSimulatorImpulseAccounting(t *testing.T) {
+	// Deterministic check through SamplePath: impulses appear in the
+	// cumulative reward at entry events.
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1000) // jump almost immediately
+	b.Reward(0, 0)
+	b.Impulse(0, 1, 7)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(m, 9).SamplePath(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 2 {
+		t.Fatalf("events: %+v", p.Events)
+	}
+	// Rate reward is ~0 (tiny sojourn, ρ=0); the impulse dominates.
+	if got := p.Events[1].Reward; got != 7 {
+		t.Errorf("reward at entry = %v, want exactly 7 (impulse only)", got)
+	}
+}

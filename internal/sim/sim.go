@@ -1,0 +1,259 @@
+// Package sim provides discrete-event Monte-Carlo simulation of Markov
+// reward models. It realises the two-dimensional stochastic process
+// (X_t, Y_t) of Figure 1 of the paper — the CTMC state combined with the
+// continuously accumulated reward — and serves two purposes: it regenerates
+// Figure 1 as trajectory data, and it is an implementation-independent
+// oracle against which the three numerical procedures are validated.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/performability/csrl/internal/mrm"
+)
+
+// Event is one step of a simulated path: the state entered, the time of
+// entry and the accumulated reward at entry.
+type Event struct {
+	State  int
+	Time   float64
+	Reward float64
+}
+
+// Path is an alternating state/sojourn sequence (paper §2.2) realised as
+// entry events; the path remains in Events[i].State until Events[i+1].Time.
+type Path struct {
+	Events []Event
+}
+
+// StateAt returns the state occupied at time t (t within the simulated
+// horizon; later times return the last state).
+func (p *Path) StateAt(t float64) int {
+	s := p.Events[0].State
+	for _, e := range p.Events {
+		if e.Time > t {
+			break
+		}
+		s = e.State
+	}
+	return s
+}
+
+// RewardAt returns the accumulated reward Y_t at time t, interpolating
+// linearly within the sojourn of the occupied state.
+func (p *Path) RewardAt(t float64, m *mrm.MRM) float64 {
+	last := p.Events[0]
+	for _, e := range p.Events[1:] {
+		if e.Time > t {
+			break
+		}
+		last = e
+	}
+	return last.Reward + (t-last.Time)*m.Reward(last.State)
+}
+
+// Simulator draws paths from an MRM.
+type Simulator struct {
+	m   *mrm.MRM
+	rng *rand.Rand
+	// cumulative transition distributions per state
+	targets [][]int
+	cum     [][]float64
+	// impulse[s][i] is the impulse reward of the i-th outgoing transition
+	// of s (parallel to targets[s]); nil when the model has none.
+	impulse [][]float64
+}
+
+// New creates a simulator with a deterministic seed (tests) or any seed the
+// caller chooses.
+func New(m *mrm.MRM, seed int64) *Simulator {
+	n := m.N()
+	s := &Simulator{
+		m:       m,
+		rng:     rand.New(rand.NewSource(seed)),
+		targets: make([][]int, n),
+		cum:     make([][]float64, n),
+	}
+	if m.HasImpulses() {
+		s.impulse = make([][]float64, n)
+	}
+	for st := 0; st < n; st++ {
+		var acc float64
+		m.Rates().Row(st, func(j int, v float64) {
+			if v > 0 {
+				acc += v
+				s.targets[st] = append(s.targets[st], j)
+				s.cum[st] = append(s.cum[st], acc)
+				if s.impulse != nil {
+					s.impulse[st] = append(s.impulse[st], m.Impulse(st, j))
+				}
+			}
+		})
+	}
+	return s
+}
+
+// SamplePath simulates one path from state `from` until time horizon or
+// until maxEvents transitions occurred, whichever comes first.
+func (s *Simulator) SamplePath(from int, horizon float64, maxEvents int) (*Path, error) {
+	if from < 0 || from >= s.m.N() {
+		return nil, fmt.Errorf("sim: initial state %d out of range", from)
+	}
+	p := &Path{Events: []Event{{State: from}}}
+	t, y := 0.0, 0.0
+	state := from
+	for i := 0; i < maxEvents; i++ {
+		e := s.m.ExitRate(state)
+		if e == 0 {
+			break // absorbing
+		}
+		dt := s.rng.ExpFloat64() / e
+		if t+dt > horizon {
+			break
+		}
+		t += dt
+		y += dt * s.m.Reward(state)
+		var imp float64
+		state, imp = s.next(state, e)
+		y += imp
+		p.Events = append(p.Events, Event{State: state, Time: t, Reward: y})
+	}
+	return p, nil
+}
+
+// next samples the successor state and returns it together with the
+// impulse reward earned by the chosen transition.
+func (s *Simulator) next(state int, exit float64) (int, float64) {
+	u := s.rng.Float64() * exit
+	cum := s.cum[state]
+	idx := len(cum) - 1
+	for i, c := range cum {
+		if u <= c {
+			idx = i
+			break
+		}
+	}
+	var imp float64
+	if s.impulse != nil {
+		imp = s.impulse[state][idx]
+	}
+	return s.targets[state][idx], imp
+}
+
+// Estimate is a Monte-Carlo estimate with a normal-approximation confidence
+// half-width.
+type Estimate struct {
+	Value     float64
+	HalfWidth float64 // 95% confidence half-width
+	Paths     int
+}
+
+// String renders the estimate as value ± half-width.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.6f ± %.6f (n=%d)", e.Value, e.HalfWidth, e.Paths)
+}
+
+// ReachProb estimates Pr{Y_t ≤ r, X_t ∈ goal} from state `from` — the
+// Theorem 2 quantity — over the given number of independent paths. A
+// non-positive r disables the reward bound only when math.IsInf(r, 1).
+func (s *Simulator) ReachProb(from int, goal *mrm.StateSet, t, r float64, paths int) (Estimate, error) {
+	if paths <= 0 {
+		return Estimate{}, fmt.Errorf("sim: path count %d must be positive", paths)
+	}
+	hits := 0
+	for i := 0; i < paths; i++ {
+		ok, err := s.sampleHit(from, goal, t, r)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if ok {
+			hits++
+		}
+	}
+	pHat := float64(hits) / float64(paths)
+	hw := 1.96 * math.Sqrt(pHat*(1-pHat)/float64(paths))
+	return Estimate{Value: pHat, HalfWidth: hw, Paths: paths}, nil
+}
+
+func (s *Simulator) sampleHit(from int, goal *mrm.StateSet, t, r float64) (bool, error) {
+	state := from
+	time, y := 0.0, 0.0
+	for {
+		e := s.m.ExitRate(state)
+		var dt float64
+		if e == 0 {
+			dt = t - time // absorbing: sit out the remaining horizon
+		} else {
+			dt = s.rng.ExpFloat64() / e
+		}
+		if time+dt >= t {
+			y += (t - time) * s.m.Reward(state)
+			return goal.Contains(state) && y <= r, nil
+		}
+		time += dt
+		y += dt * s.m.Reward(state)
+		if y > r {
+			// Absorbing reward barrier of Figure 1: once Y exceeds r the
+			// outcome can no longer satisfy Y_t ≤ r.
+			return false, nil
+		}
+		if e == 0 {
+			return goal.Contains(state) && y <= r, nil
+		}
+		var imp float64
+		state, imp = s.next(state, e)
+		y += imp
+		if y > r {
+			return false, nil
+		}
+	}
+}
+
+// UntilProb estimates Pr{Φ U^{≤t}_{≤r} Ψ} directly on path semantics
+// (paper §2.3): a path satisfies the until if a Ψ-state is reached at some
+// time t' ≤ t with accumulated reward ≤ r while all earlier states satisfy
+// Φ. This estimator deliberately does NOT use the Theorem 1 reduction, so
+// it provides an independent check of that theorem.
+func (s *Simulator) UntilProb(from int, phi, psi *mrm.StateSet, t, r float64, paths int) (Estimate, error) {
+	if paths <= 0 {
+		return Estimate{}, fmt.Errorf("sim: path count %d must be positive", paths)
+	}
+	hits := 0
+	for i := 0; i < paths; i++ {
+		ok := s.sampleUntil(from, phi, psi, t, r)
+		if ok {
+			hits++
+		}
+	}
+	pHat := float64(hits) / float64(paths)
+	hw := 1.96 * math.Sqrt(pHat*(1-pHat)/float64(paths))
+	return Estimate{Value: pHat, HalfWidth: hw, Paths: paths}, nil
+}
+
+func (s *Simulator) sampleUntil(from int, phi, psi *mrm.StateSet, t, r float64) bool {
+	state := from
+	time, y := 0.0, 0.0
+	for {
+		if psi.Contains(state) {
+			return time <= t && y <= r
+		}
+		if !phi.Contains(state) {
+			return false
+		}
+		e := s.m.ExitRate(state)
+		if e == 0 {
+			return false // stuck in a Φ∧¬Ψ state forever
+		}
+		dt := s.rng.ExpFloat64() / e
+		time += dt
+		y += dt * s.m.Reward(state)
+		var imp float64
+		state, imp = s.next(state, e)
+		y += imp // the impulse of the entering transition counts toward J
+		if time > t || y > r {
+			return false
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/transient"
+)
+
+func chain(t *testing.T) *mrm.MRM {
+	t.Helper()
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 2).Rate(1, 2, 3).Rate(1, 0, 1)
+	b.Reward(0, 1).Reward(1, 2)
+	b.Label(2, "goal").Label(0, "phi").Label(1, "phi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m
+}
+
+func TestSamplePathStructure(t *testing.T) {
+	m := chain(t)
+	s := New(m, 1)
+	p, err := s.SamplePath(0, 10, 1000)
+	if err != nil {
+		t.Fatalf("SamplePath: %v", err)
+	}
+	if p.Events[0].State != 0 || p.Events[0].Time != 0 {
+		t.Fatalf("path must start at (0, t=0): %+v", p.Events[0])
+	}
+	// Times strictly increase; rewards are consistent with sojourns.
+	for i := 1; i < len(p.Events); i++ {
+		prev, cur := p.Events[i-1], p.Events[i]
+		if cur.Time <= prev.Time {
+			t.Fatalf("times not increasing at %d", i)
+		}
+		dt := cur.Time - prev.Time
+		wantR := prev.Reward + dt*m.Reward(prev.State)
+		if math.Abs(cur.Reward-wantR) > 1e-12 {
+			t.Fatalf("reward accounting wrong at %d: %v vs %v", i, cur.Reward, wantR)
+		}
+	}
+	// Absorbing state 2 ends the path.
+	last := p.Events[len(p.Events)-1]
+	if last.State != 2 && last.Time < 10 && len(p.Events) < 1000 {
+		t.Errorf("path ended early in non-absorbing state %d", last.State)
+	}
+}
+
+func TestStateAtAndRewardAt(t *testing.T) {
+	m := chain(t)
+	p := &Path{Events: []Event{
+		{State: 0, Time: 0, Reward: 0},
+		{State: 1, Time: 2, Reward: 2},
+		{State: 2, Time: 3, Reward: 4},
+	}}
+	if got := p.StateAt(1); got != 0 {
+		t.Errorf("StateAt(1) = %d", got)
+	}
+	if got := p.StateAt(2.5); got != 1 {
+		t.Errorf("StateAt(2.5) = %d", got)
+	}
+	if got := p.StateAt(99); got != 2 {
+		t.Errorf("StateAt(99) = %d", got)
+	}
+	// Reward interpolation: at t=1, accumulated = 1·ρ(0) = 1.
+	if got := p.RewardAt(1, m); got != 1 {
+		t.Errorf("RewardAt(1) = %v", got)
+	}
+	// At t=2.5: 2 + 0.5·ρ(1) = 3.
+	if got := p.RewardAt(2.5, m); got != 3 {
+		t.Errorf("RewardAt(2.5) = %v", got)
+	}
+}
+
+func TestReachProbMatchesTransient(t *testing.T) {
+	// Without a reward bound (r = ∞) the estimate must match the
+	// uniformisation-based transient probability.
+	m := chain(t)
+	goal := m.Label("goal")
+	ref, err := transient.ReachProbAll(m, goal, 1.0, transient.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, 42)
+	est, err := s.ReachProb(0, goal, 1.0, math.Inf(1), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-ref[0]) > est.HalfWidth+1e-3 {
+		t.Errorf("sim %v vs transient %v", est, ref[0])
+	}
+}
+
+func TestReachProbDeterministicSeed(t *testing.T) {
+	m := chain(t)
+	goal := m.Label("goal")
+	a, err := New(m, 7).ReachProb(0, goal, 1, 3, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(m, 7).ReachProb(0, goal, 1, 3, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Errorf("same seed, different estimates: %v vs %v", a, b)
+	}
+}
+
+func TestUntilProbViolations(t *testing.T) {
+	// Ψ unreachable without leaving Φ ⇒ probability 0.
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 1).Rate(1, 2, 1)
+	b.Label(0, "phi").Label(2, "psi") // state 1 is neither
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, 3)
+	est, err := s.UntilProb(0, m.Label("phi"), m.Label("psi"), math.Inf(1), math.Inf(1), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value != 0 {
+		t.Errorf("blocked until = %v, want 0", est.Value)
+	}
+	// Starting in Ψ satisfies immediately.
+	est, err = s.UntilProb(2, m.Label("phi"), m.Label("psi"), 1, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value != 1 {
+		t.Errorf("start-in-psi until = %v, want 1", est.Value)
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	m := chain(t)
+	s := New(m, 1)
+	if _, err := s.SamplePath(-1, 1, 10); err == nil {
+		t.Error("negative initial state accepted")
+	}
+	if _, err := s.ReachProb(0, m.Label("goal"), 1, 1, 0); err == nil {
+		t.Error("zero path count accepted")
+	}
+	if _, err := s.UntilProb(0, m.Label("phi"), m.Label("goal"), 1, 1, -1); err == nil {
+		t.Error("negative path count accepted")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Value: 0.5, HalfWidth: 0.01, Paths: 100}
+	if got := e.String(); got != "0.500000 ± 0.010000 (n=100)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,311 @@
+// Package sparse provides compressed sparse row (CSR) matrices and the
+// vector kernels used throughout the model checker. Matrices are square,
+// real-valued and immutable once built; construction goes through either a
+// triplet list or the incremental Builder.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Triplet is a single (row, col, value) entry used to assemble a matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a square sparse matrix in compressed sparse row format.
+// For row i, the entries are Col[RowPtr[i]:RowPtr[i+1]] with values
+// Val[RowPtr[i]:RowPtr[i+1]], sorted by column index.
+type CSR struct {
+	n      int
+	rowPtr []int
+	col    []int
+	val    []float64
+}
+
+// ErrDimension reports an invalid or inconsistent dimension.
+var ErrDimension = errors.New("sparse: invalid dimension")
+
+// NewFromTriplets assembles an n×n CSR matrix from triplets. Duplicate
+// (row, col) pairs are summed. Entries that sum to exactly zero are kept,
+// so the sparsity pattern is predictable for callers.
+func NewFromTriplets(n int, ts []Triplet) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrDimension, n)
+	}
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= n {
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %d×%d", ErrDimension, t.Row, t.Col, n, n)
+		}
+	}
+	sorted := make([]Triplet, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+
+	m := &CSR{
+		n:      n,
+		rowPtr: make([]int, n+1),
+	}
+	// Merge duplicates while copying into the CSR arrays.
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		sum := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			sum += sorted[j].Val
+			j++
+		}
+		m.col = append(m.col, sorted[i].Col)
+		m.val = append(m.val, sum)
+		m.rowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < n; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSR {
+	m := &CSR{
+		n:      n,
+		rowPtr: make([]int, n+1),
+		col:    make([]int, n),
+		val:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.rowPtr[i+1] = i + 1
+		m.col[i] = i
+		m.val[i] = 1
+	}
+	return m
+}
+
+// Dim returns the dimension n of the square matrix.
+func (m *CSR) Dim() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.val) }
+
+// At returns the entry at (i, j); zero when no entry is stored.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		return 0
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	idx := sort.SearchInts(m.col[lo:hi], j)
+	if idx < hi-lo && m.col[lo+idx] == j {
+		return m.val[lo+idx]
+	}
+	return 0
+}
+
+// Row calls fn for every stored entry (j, v) in row i.
+func (m *CSR) Row(i int, fn func(j int, v float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.col[k], m.val[k])
+	}
+}
+
+// RowSum returns the sum of the stored entries in row i.
+func (m *CSR) RowSum(i int) float64 {
+	var s float64
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		s += m.val[k]
+	}
+	return s
+}
+
+// Each calls fn for every stored entry.
+func (m *CSR) Each(fn func(i, j int, v float64)) {
+	for i := 0; i < m.n; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			fn(i, m.col[k], m.val[k])
+		}
+	}
+}
+
+// MulVec computes dst = M·x. dst and x must have length Dim and must not
+// alias each other.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(dst) != m.n || len(x) != m.n {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * x[m.col[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = Mᵀ·x (equivalently dst = x·M for a row vector x).
+// dst and x must have length Dim and must not alias each other.
+func (m *CSR) MulVecT(dst, x []float64) {
+	if len(dst) != m.n || len(x) != m.n {
+		panic("sparse: MulVecT dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m.n; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			dst[m.col[k]] += m.val[k] * xi
+		}
+	}
+}
+
+// MulMat computes C = M·B where B and C are dense n×n matrices stored
+// row-major as [][]float64. C must be preallocated and must not alias B.
+func (m *CSR) MulMat(c, b [][]float64) {
+	if len(c) != m.n || len(b) != m.n {
+		panic("sparse: MulMat dimension mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		ci := c[i]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			v, bj := m.val[k], b[m.col[k]]
+			for j, bv := range bj {
+				ci[j] += v * bv
+			}
+		}
+	}
+}
+
+// Transpose returns a new matrix Mᵀ.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		n:      m.n,
+		rowPtr: make([]int, m.n+1),
+		col:    make([]int, len(m.col)),
+		val:    make([]float64, len(m.val)),
+	}
+	for _, j := range m.col {
+		t.rowPtr[j+1]++
+	}
+	for i := 0; i < m.n; i++ {
+		t.rowPtr[i+1] += t.rowPtr[i]
+	}
+	next := make([]int, m.n)
+	copy(next, t.rowPtr[:m.n])
+	for i := 0; i < m.n; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.col[k]
+			t.col[next[j]] = i
+			t.val[next[j]] = m.val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Scale returns a new matrix α·M.
+func (m *CSR) Scale(alpha float64) *CSR {
+	s := m.clone()
+	for i := range s.val {
+		s.val[i] *= alpha
+	}
+	return s
+}
+
+// ScaleRows returns a new matrix diag(w)·M, i.e. row i multiplied by w[i].
+func (m *CSR) ScaleRows(w []float64) (*CSR, error) {
+	if len(w) != m.n {
+		return nil, fmt.Errorf("%w: weight length %d for %d×%d matrix", ErrDimension, len(w), m.n, m.n)
+	}
+	s := m.clone()
+	for i := 0; i < s.n; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			s.val[k] *= w[i]
+		}
+	}
+	return s, nil
+}
+
+// AddDiagonal returns a new matrix M + diag(d). Diagonal entries that are
+// not yet present in the pattern are inserted.
+func (m *CSR) AddDiagonal(d []float64) (*CSR, error) {
+	if len(d) != m.n {
+		return nil, fmt.Errorf("%w: diagonal length %d for %d×%d matrix", ErrDimension, len(d), m.n, m.n)
+	}
+	ts := make([]Triplet, 0, m.NNZ()+m.n)
+	m.Each(func(i, j int, v float64) {
+		ts = append(ts, Triplet{Row: i, Col: j, Val: v})
+	})
+	for i, v := range d {
+		if v != 0 {
+			ts = append(ts, Triplet{Row: i, Col: i, Val: v})
+		}
+	}
+	return NewFromTriplets(m.n, ts)
+}
+
+// Dense returns the matrix as a dense row-major [][]float64.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.n)
+	flat := make([]float64, m.n*m.n)
+	for i := 0; i < m.n; i++ {
+		out[i] = flat[i*m.n : (i+1)*m.n]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out[i][m.col[k]] = m.val[k]
+		}
+	}
+	return out
+}
+
+func (m *CSR) clone() *CSR {
+	c := &CSR{
+		n:      m.n,
+		rowPtr: make([]int, len(m.rowPtr)),
+		col:    make([]int, len(m.col)),
+		val:    make([]float64, len(m.val)),
+	}
+	copy(c.rowPtr, m.rowPtr)
+	copy(c.col, m.col)
+	copy(c.val, m.val)
+	return c
+}
+
+// MaxAbs returns the largest absolute value of any stored entry,
+// or 0 for an empty matrix.
+func (m *CSR) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.val {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// String renders small matrices for debugging; large matrices are summarised.
+func (m *CSR) String() string {
+	if m.n > 12 {
+		return fmt.Sprintf("CSR{%d×%d, nnz=%d}", m.n, m.n, m.NNZ())
+	}
+	s := ""
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			s += fmt.Sprintf("%10.4g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,222 @@
+package srn
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// producerConsumer is a small net: a producer place cycles tokens through a
+// buffer that a consumer drains.
+func producerConsumer() (*Net, Marking) {
+	net := &Net{
+		Places: []string{"idle", "busy", "buffer"},
+		Transitions: []Transition{
+			{Name: "start", Rate: 2, In: []Arc{{Place: 0, Weight: 1}}, Out: []Arc{{Place: 1, Weight: 1}}},
+			{Name: "produce", Rate: 3, In: []Arc{{Place: 1, Weight: 1}}, Out: []Arc{{Place: 0, Weight: 1}, {Place: 2, Weight: 1}}},
+			{Name: "consume", Rate: 1, In: []Arc{{Place: 2, Weight: 1}}, Out: nil},
+		},
+	}
+	init := Marking{1, 0, 0}
+	return net, init
+}
+
+func TestMarkingKeyAndClone(t *testing.T) {
+	m := Marking{1, 0, 2}
+	if m.Key() != "1,0,2" {
+		t.Errorf("Key = %q", m.Key())
+	}
+	c := m.Clone()
+	c[0] = 9
+	if m[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestEnabledAndFire(t *testing.T) {
+	net, init := producerConsumer()
+	if !net.Enabled(0, init) {
+		t.Error("start should be enabled initially")
+	}
+	if net.Enabled(1, init) || net.Enabled(2, init) {
+		t.Error("produce/consume should be disabled initially")
+	}
+	next := net.Fire(0, init)
+	if next.Key() != "0,1,0" {
+		t.Errorf("after start: %v", next)
+	}
+	next = net.Fire(1, next)
+	if next.Key() != "1,0,1" {
+		t.Errorf("after produce: %v", next)
+	}
+}
+
+func TestGuard(t *testing.T) {
+	net, init := producerConsumer()
+	// Block production once the buffer holds 1 token.
+	net.Transitions[1].Guard = func(m Marking) bool { return m[2] == 0 }
+	m, _, err := net.BuildMRM(init, Options{})
+	if err != nil {
+		t.Fatalf("BuildMRM: %v", err)
+	}
+	// States: (1,0,0), (0,1,0), (1,0,1), (0,1,1); produce blocked in
+	// (0,1,1) so no (1,0,2).
+	if m.N() != 4 {
+		t.Errorf("guarded net has %d states, want 4", m.N())
+	}
+}
+
+func TestBuildMRMStateSpace(t *testing.T) {
+	net, init := producerConsumer()
+	// Unbounded buffer → explosion; cap it.
+	_, _, err := net.BuildMRM(init, Options{MaxStates: 10})
+	if !errors.Is(err, ErrExplosion) {
+		t.Fatalf("want ErrExplosion, got %v", err)
+	}
+}
+
+func TestBuildMRMLabelsAndRewards(t *testing.T) {
+	net, init := producerConsumer()
+	net.Transitions[1].Guard = func(m Marking) bool { return m[2] == 0 }
+	m, markings, err := net.BuildMRM(init, Options{
+		Reward: func(mk Marking) float64 { return float64(mk[2]) * 10 },
+		Labels: func(mk Marking) []string {
+			if mk[2] > 0 {
+				return []string{"nonempty"}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("BuildMRM: %v", err)
+	}
+	if m.InitialState() != 0 {
+		t.Errorf("initial state = %d", m.InitialState())
+	}
+	for si, mk := range markings {
+		if mk[0] > 0 && !m.HasLabel(si, "idle") {
+			t.Errorf("state %d should carry label idle", si)
+		}
+		if want := float64(mk[2]) * 10; m.Reward(si) != want {
+			t.Errorf("state %d reward = %v, want %v", si, m.Reward(si), want)
+		}
+		if mk[2] > 0 && !m.HasLabel(si, "nonempty") {
+			t.Errorf("state %d should carry custom label", si)
+		}
+	}
+}
+
+func TestMarkingDependentRate(t *testing.T) {
+	net, init := producerConsumer()
+	net.Transitions[1].Guard = func(m Marking) bool { return m[2] < 2 }
+	// Consumption speed proportional to buffer occupancy.
+	net.Transitions[2].RateFn = func(m Marking) float64 { return float64(m[2]) * 1.5 }
+	m, markings, err := net.BuildMRM(init, Options{})
+	if err != nil {
+		t.Fatalf("BuildMRM: %v", err)
+	}
+	for si, mk := range markings {
+		if mk[2] == 0 {
+			continue
+		}
+		// Find the consume rate out of this state.
+		var found bool
+		m.Rates().Row(si, func(to int, v float64) {
+			if markings[to][2] == mk[2]-1 && markings[to][0] == mk[0] {
+				found = true
+				if want := float64(mk[2]) * 1.5; math.Abs(v-want) > 1e-12 {
+					t.Errorf("state %v: consume rate %v, want %v", mk, v, want)
+				}
+			}
+		})
+		if !found {
+			t.Errorf("state %v has no consume transition", mk)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		net  *Net
+	}{
+		{"unnamed transition", &Net{Places: []string{"p"}, Transitions: []Transition{{Rate: 1}}}},
+		{"bad place index", &Net{Places: []string{"p"}, Transitions: []Transition{
+			{Name: "t", Rate: 1, In: []Arc{{Place: 3, Weight: 1}}},
+		}}},
+		{"zero weight", &Net{Places: []string{"p"}, Transitions: []Transition{
+			{Name: "t", Rate: 1, In: []Arc{{Place: 0, Weight: 0}}},
+		}}},
+		{"non-positive rate", &Net{Places: []string{"p"}, Transitions: []Transition{
+			{Name: "t", Rate: 0, In: []Arc{{Place: 0, Weight: 1}}},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.net.Validate(); err == nil {
+				t.Errorf("%s not rejected", tc.name)
+			}
+		})
+	}
+}
+
+func TestBuildMRMRejectsWrongMarkingLength(t *testing.T) {
+	net, _ := producerConsumer()
+	if _, _, err := net.BuildMRM(Marking{1}, Options{}); err == nil {
+		t.Error("short marking accepted")
+	}
+}
+
+func TestSelfLoopTransitionDropped(t *testing.T) {
+	// A transition that reproduces its input marking is a CTMC self-loop
+	// and must be dropped silently.
+	net := &Net{
+		Places: []string{"p"},
+		Transitions: []Transition{
+			{Name: "noop", Rate: 5, In: []Arc{{Place: 0, Weight: 1}}, Out: []Arc{{Place: 0, Weight: 1}}},
+		},
+	}
+	m, _, err := net.BuildMRM(Marking{1}, Options{})
+	if err != nil {
+		t.Fatalf("BuildMRM: %v", err)
+	}
+	if m.N() != 1 || !m.IsAbsorbing(0) {
+		t.Errorf("self-loop net should yield a single absorbing state")
+	}
+}
+
+func TestImpulseMerging(t *testing.T) {
+	// Two competing transitions between the same pair of markings with
+	// different impulses: the merged CTMC transition carries the
+	// rate-weighted average impulse.
+	net := &Net{
+		Places: []string{"a", "b"},
+		Transitions: []Transition{
+			{Name: "cheap", Rate: 3, In: []Arc{{Place: 0, Weight: 1}}, Out: []Arc{{Place: 1, Weight: 1}}, Impulse: 1},
+			{Name: "pricey", Rate: 1, In: []Arc{{Place: 0, Weight: 1}}, Out: []Arc{{Place: 1, Weight: 1}}, Impulse: 5},
+		},
+	}
+	m, _, err := net.BuildMRM(Marking{1, 0}, Options{})
+	if err != nil {
+		t.Fatalf("BuildMRM: %v", err)
+	}
+	if got := m.Rates().At(0, 1); got != 4 {
+		t.Fatalf("merged rate = %v, want 4", got)
+	}
+	want := (3.0*1 + 1.0*5) / 4.0
+	if got := m.Impulse(0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("merged impulse = %v, want %v", got, want)
+	}
+}
+
+func TestNegativeImpulseRejected(t *testing.T) {
+	net := &Net{
+		Places: []string{"a"},
+		Transitions: []Transition{
+			{Name: "t", Rate: 1, In: []Arc{{Place: 0, Weight: 1}}, Impulse: -2},
+		},
+	}
+	if err := net.Validate(); err == nil {
+		t.Error("negative impulse accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Package steady implements steady-state analysis of CTMCs for the CSRL
+// steady-state operator S⋈p(Φ) (the paper defers its model-checking
+// procedure to ref [2]): for each state s,
+//
+//	π_s(Φ) = Σ_B Pr_s{reach BSCC B} · π_B(Sat(Φ) ∩ B)
+//
+// where the sum ranges over the bottom strongly connected components of the
+// chain and π_B is the stationary distribution of B.
+package steady
+
+import (
+	"fmt"
+
+	"github.com/performability/csrl/internal/graph"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// StationaryBSCC solves the stationary distribution of a single BSCC given
+// by its member states. It solves π·Q_B = 0, Σπ = 1 directly (the BSCCs of
+// dependability models are typically small; Gaussian elimination is exact
+// and avoids iteration-tuning).
+func StationaryBSCC(m *mrm.MRM, members []int) (map[int]float64, error) {
+	k := len(members)
+	if k == 0 {
+		return nil, fmt.Errorf("steady: empty BSCC")
+	}
+	if k == 1 {
+		return map[int]float64{members[0]: 1}, nil
+	}
+	idx := make(map[int]int, k)
+	for i, s := range members {
+		idx[s] = i
+	}
+	// Build Qᵀ restricted to the component, replacing the last equation by
+	// the normalisation Σπ = 1.
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+	}
+	for _, s := range members {
+		col := idx[s]
+		var exitInside float64
+		m.Rates().Row(s, func(t int, v float64) {
+			row, ok := idx[t]
+			if !ok {
+				return // cannot happen for a true BSCC; defensive
+			}
+			a[row][col] += v
+			exitInside += v
+		})
+		a[col][col] -= exitInside
+	}
+	rhs := make([]float64, k)
+	for j := 0; j < k; j++ {
+		a[k-1][j] = 1
+	}
+	rhs[k-1] = 1
+	x, err := numeric.GaussianEliminate(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("steady: stationary solve: %w", err)
+	}
+	out := make(map[int]float64, k)
+	for i, s := range members {
+		out[s] = x[i]
+	}
+	return out, nil
+}
+
+// Probabilities returns, for every state s, the long-run probability of
+// being in a Φ-state when starting from s.
+func Probabilities(m *mrm.MRM, phi *mrm.StateSet) ([]float64, error) {
+	if phi.Universe() != m.N() {
+		return nil, fmt.Errorf("steady: Φ universe %d for %d states", phi.Universe(), m.N())
+	}
+	g := graph.FromRates(m.Rates())
+	bsccs := g.BSCCs()
+	n := m.N()
+	result := make([]float64, n)
+	for _, comp := range bsccs {
+		pi, err := StationaryBSCC(m, comp)
+		if err != nil {
+			return nil, err
+		}
+		var phiMass float64
+		for s, p := range pi {
+			if phi.Contains(s) {
+				phiMass += p
+			}
+		}
+		if phiMass == 0 {
+			continue
+		}
+		// Pr_s{reach this BSCC}: unbounded reachability of the component.
+		target := mrm.NewStateSetOf(n, comp...)
+		reach, err := ReachProbability(m, target)
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < n; s++ {
+			result[s] += reach[s] * phiMass
+		}
+	}
+	return result, nil
+}
+
+// ReachProbability returns Pr_s{◊ target} for every state s (unbounded
+// reachability), via graph precomputation and a Gauss–Seidel solve of the
+// embedded DTMC equations — the procedure the paper cites from
+// Hansson & Jonsson [13] for P0-type properties.
+func ReachProbability(m *mrm.MRM, target *mrm.StateSet) ([]float64, error) {
+	n := m.N()
+	g := graph.FromRates(m.Rates())
+	all := mrm.NewStateSet(n).Complement()
+	canReach := g.BackwardReachable(all, target)
+	x := make([]float64, n)
+	target.Each(func(s int) { x[s] = 1 })
+	maybe := canReach.Minus(target)
+	if maybe.IsEmpty() {
+		return x, nil
+	}
+	// Solve x = A·x + b over the maybe states, where A is the embedded
+	// DTMC restricted to maybe and b collects one-step hits of target.
+	states := maybe.Slice()
+	idx := make(map[int]int, len(states))
+	for i, s := range states {
+		idx[s] = i
+	}
+	b := make([]float64, len(states))
+	builder := sparse.NewBuilder(len(states))
+	for i, s := range states {
+		e := m.ExitRate(s)
+		if e == 0 {
+			continue // absorbing non-target state: probability 0
+		}
+		m.Rates().Row(s, func(t int, v float64) {
+			p := v / e
+			switch {
+			case target.Contains(t):
+				b[i] += p
+			case maybe.Contains(t):
+				builder.Add(i, idx[t], p)
+			}
+		})
+	}
+	a, err := builder.Build()
+	if err != nil {
+		return nil, fmt.Errorf("steady: reach system: %w", err)
+	}
+	sol, err := numeric.SolveGaussSeidel(a, b, numeric.DefaultSolveOptions())
+	if err != nil {
+		return nil, fmt.Errorf("steady: reach solve: %w", err)
+	}
+	for i, s := range states {
+		x[s] = sol[i]
+	}
+	return x, nil
+}

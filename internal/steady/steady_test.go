@@ -1,0 +1,145 @@
+package steady
+
+import (
+	"math"
+	"testing"
+
+	"github.com/performability/csrl/internal/mrm"
+)
+
+func TestStationaryBSCCBirthDeath(t *testing.T) {
+	// Birth-death chain with birth rate 1, death rate 2:
+	// π_i ∝ (1/2)^i over states 0..3 (truncated).
+	b := mrm.NewBuilder(4)
+	for i := 0; i < 3; i++ {
+		b.Rate(i, i+1, 1)
+		b.Rate(i+1, i, 2)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := StationaryBSCC(m, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := 1 + 0.5 + 0.25 + 0.125
+	for i := 0; i < 4; i++ {
+		want := math.Pow(0.5, float64(i)) / z
+		if math.Abs(pi[i]-want) > 1e-12 {
+			t.Errorf("π[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+}
+
+func TestStationarySingleton(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := StationaryBSCC(m, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[1] != 1 {
+		t.Errorf("singleton stationary = %v", pi)
+	}
+	if _, err := StationaryBSCC(m, nil); err == nil {
+		t.Error("empty component accepted")
+	}
+}
+
+func TestProbabilitiesTwoAbsorbingStates(t *testing.T) {
+	// 1 <--1-- 0 --3--> 2: from 0 the chain ends in 1 w.p. 1/4, in 2
+	// w.p. 3/4.
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 1).Rate(0, 2, 3)
+	b.Label(1, "left")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Probabilities(m, m.Label("left"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-0.25) > 1e-10 {
+		t.Errorf("from 0: %v, want 0.25", vals[0])
+	}
+	if vals[1] != 1 || vals[2] != 0 {
+		t.Errorf("absorbing values: %v", vals)
+	}
+}
+
+func TestProbabilitiesIrreducible(t *testing.T) {
+	// Irreducible two-state chain: steady-state independent of the start.
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1).Rate(1, 0, 3)
+	b.Label(0, "up")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Probabilities(m, m.Label("up"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, v := range vals {
+		if math.Abs(v-0.75) > 1e-10 {
+			t.Errorf("from %d: %v, want 0.75", s, v)
+		}
+	}
+}
+
+func TestProbabilitiesBSCCWithInternalStructure(t *testing.T) {
+	// Transient state 0 feeds a 2-state recurrent class {1,2}.
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 5)
+	b.Rate(1, 2, 1).Rate(2, 1, 4)
+	b.Label(1, "phi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Probabilities(m, m.Label("phi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0 / 5.0 // π(1) within the class
+	for s := 0; s < 3; s++ {
+		if math.Abs(vals[s]-want) > 1e-10 {
+			t.Errorf("from %d: %v, want %v", s, vals[s], want)
+		}
+	}
+}
+
+func TestReachProbabilityUnreachable(t *testing.T) {
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 1)
+	b.Label(2, "island")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ReachProbability(m, m.Label("island"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 || vals[1] != 0 || vals[2] != 1 {
+		t.Errorf("reach = %v, want [0 0 1]", vals)
+	}
+}
+
+func TestProbabilitiesUniverseMismatch(t *testing.T) {
+	b := mrm.NewBuilder(2)
+	b.Rate(0, 1, 1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Probabilities(m, mrm.NewStateSet(5)); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package transient
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/performability/csrl/internal/mrm"
+)
+
+// randCTMC builds a random labelled CTMC with a couple of goal states.
+func randCTMC(rng *rand.Rand) (*mrm.MRM, *mrm.StateSet) {
+	n := 3 + rng.Intn(6)
+	b := mrm.NewBuilder(n)
+	goal := mrm.NewStateSet(n)
+	for s := 0; s < n; s++ {
+		if rng.Float64() < 0.3 {
+			goal.Add(s)
+			b.Label(s, "goal")
+		}
+		deg := rng.Intn(3)
+		for k := 0; k < deg; k++ {
+			to := rng.Intn(n)
+			if to != s {
+				b.Rate(s, to, 0.1+5*rng.Float64())
+			}
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m, goal
+}
+
+// Property: transient distributions are probability vectors and
+// reachability values live in [0,1] with goal states at their transient
+// membership probability.
+func TestDistributionIsStochasticProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		m, _ := randCTMC(rng)
+		horizon := rng.Float64() * 5
+		pi, err := Distribution(m, horizon, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < -1e-12 || p > 1+1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pr_s{X_t ∈ goal} from the backward sweep equals the forward
+// transient probability for a random start state.
+func TestBackwardForwardConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func() bool {
+		m, goal := randCTMC(rng)
+		horizon := 0.1 + rng.Float64()*3
+		back, err := ReachProbAll(m, goal, horizon, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		s := rng.Intn(m.N())
+		init := make([]float64, m.N())
+		init[s] = 1
+		pi, err := DistributionFrom(m, init, horizon, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		var fwd float64
+		goal.Each(func(j int) { fwd += pi[j] })
+		return math.Abs(back[s]-fwd) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: time-bounded until probabilities are monotone nondecreasing in
+// the bound and bounded by the unbounded reach probability... here simply
+// by 1; Ψ-states pin to 1, ¬(Φ∨Ψ) to 0.
+func TestUntilMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func() bool {
+		m, psi := randCTMC(rng)
+		phi := mrm.NewStateSet(m.N()).Complement()
+		t1 := rng.Float64() * 2
+		t2 := t1 + rng.Float64()*3
+		v1, err := TimeBoundedUntil(m, phi, psi, t1, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		v2, err := TimeBoundedUntil(m, phi, psi, t2, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		for s := range v1 {
+			if v2[s] < v1[s]-1e-9 {
+				return false
+			}
+			if psi.Contains(s) && math.Abs(v1[s]-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
