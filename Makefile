@@ -1,0 +1,28 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: all build test race lint bench-smoke fmt vet
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/mrmlint ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,159 @@
+// Command mrmlint runs the repository's numerical-hygiene analyzers (see
+// internal/lint) over module packages and reports findings with file:line
+// positions. It exits 0 when clean, 1 when there are findings and 2 on
+// usage or load errors.
+//
+//	mrmlint ./...                     # whole module
+//	mrmlint -disable=bannedcall ./internal/...
+//	mrmlint -enable=floatcmp,aliasret ./internal/sparse
+//	mrmlint -list                     # describe the analyzers
+//
+// Findings are suppressed case by case with a comment on (or directly
+// above) the flagged line:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/performability/csrl/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("mrmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list the analyzers and exit")
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mrmlint [-list] [-enable=a,b] [-disable=a,b] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "mrmlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "mrmlint:", err)
+		return 2
+	}
+	n, err := lintPackages(stdout, cwd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "mrmlint:", err)
+		return 2
+	}
+	if n > 0 {
+		fmt.Fprintf(stderr, "mrmlint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// lintPackages loads every package matched by patterns (relative to dir)
+// and returns the number of findings printed.
+func lintPackages(stdout io.Writer, dir string, patterns []string, analyzers []*lint.Analyzer) (int, error) {
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	dirs, err := loader.Expand(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	if len(dirs) == 0 {
+		return 0, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	runner := lint.NewRunner(analyzers)
+	total := 0
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d)
+		if err != nil {
+			return 0, err
+		}
+		diags, err := runner.RunPackage(pkg)
+		if err != nil {
+			return 0, err
+		}
+		for _, diag := range diags {
+			fmt.Fprintln(stdout, diag)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}
+
+// selectAnalyzers applies the -enable/-disable flags to the registry.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	parse := func(list string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if list == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if byName[name] == nil {
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(known, ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("flag selection leaves no analyzers enabled")
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/performability/csrl/internal/lint"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.All()
+
+	got, err := selectAnalyzers("", "")
+	if err != nil {
+		t.Fatalf("default selection: %v", err)
+	}
+	if len(got) != len(all) {
+		t.Errorf("default selection has %d analyzers, want %d", len(got), len(all))
+	}
+
+	got, err = selectAnalyzers("floatcmp,aliasret", "")
+	if err != nil {
+		t.Fatalf("enable selection: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("enable=floatcmp,aliasret selected %d analyzers, want 2", len(got))
+	}
+
+	got, err = selectAnalyzers("", "bannedcall")
+	if err != nil {
+		t.Fatalf("disable selection: %v", err)
+	}
+	if len(got) != len(all)-1 {
+		t.Errorf("disable=bannedcall selected %d analyzers, want %d", len(got), len(all)-1)
+	}
+	for _, a := range got {
+		if a.Name == "bannedcall" {
+			t.Error("disabled analyzer still selected")
+		}
+	}
+
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+		t.Error("unknown analyzer name was accepted")
+	}
+	if _, err := selectAnalyzers("floatcmp", "floatcmp"); err == nil {
+		t.Error("empty selection was accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, stderr.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-enable=nosuch"}); code != 2 {
+		t.Errorf("unknown analyzer exited %d, want 2", code)
+	}
+	if code := run(&stdout, &stderr, []string{"-nosuchflag"}); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+}
+
+// TestModuleIsClean is the baseline guarantee: the tool reports zero
+// findings over its own module. New code that trips an analyzer must be
+// fixed or carry a //lint:ignore with a reason.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	var out bytes.Buffer
+	n, err := lintPackages(&out, loader.ModuleDir, []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("lintPackages: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("module has %d lint findings:\n%s", n, out.String())
+	}
+}
+
+func TestLintPackagesNoMatch(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	if _, err := lintPackages(io.Discard, loader.ModuleDir, []string{"./nosuchdir"}, lint.All()); err == nil {
+		t.Error("nonexistent package pattern did not error")
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Aliasret flags exported functions and methods in the buffer-owning
+// packages (internal/sparse, internal/mrm) that return a slice aliasing
+// internal state — a struct field, a sub-slice of one, or a package-level
+// variable — without copying. Such a return hands the caller a mutable
+// window into a matrix or model that the rest of the system treats as
+// immutable; the moment solvers run in parallel it becomes a data race.
+// Return sparse.Clone(...) / append([]T(nil), s...) instead, or suppress
+// with //lint:ignore aliasret <reason> where sharing is the documented
+// contract.
+var Aliasret = &Analyzer{
+	Name: "aliasret",
+	Doc:  "flags exported sparse/mrm functions returning internal slices without copying",
+	Run:  runAliasret,
+}
+
+// aliasretPkgSuffixes are the packages whose exported API must not leak
+// internal slice buffers.
+var aliasretPkgSuffixes = []string{"internal/sparse", "internal/mrm"}
+
+func runAliasret(pass *Pass) error {
+	covered := false
+	for _, suffix := range aliasretPkgSuffixes {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkReturns walks the function body (not nested function literals,
+// whose returns belong to the literal) looking for aliasing returns.
+func checkReturns(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			t := pass.TypeOf(res)
+			if t == nil {
+				continue
+			}
+			if _, ok := t.Underlying().(*types.Slice); !ok {
+				continue
+			}
+			if base, ok := aliasBase(pass, res); ok {
+				pass.Reportf(res.Pos(), "exported %s returns internal slice %s without copying; aliasing hazard under concurrent use — copy it (sparse.Clone, append)",
+					fd.Name.Name, types.ExprString(base))
+			}
+		}
+		return true
+	})
+}
+
+// aliasBase peels slicing/indexing from the returned expression and
+// reports whether what remains is internal state: a struct field selector
+// or a package-level variable.
+func aliasBase(pass *Pass, e ast.Expr) (ast.Expr, bool) {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return x, true
+			}
+			// Qualified identifier (pkg.Var) or method value: resolve the Sel.
+			if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok && isPackageLevel(pass, v) {
+				return x, true
+			}
+			return nil, false
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[x].(*types.Var); ok && isPackageLevel(pass, v) {
+				return x, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(pass *Pass, v *types.Var) bool {
+	return v.Parent() == pass.Pkg.Scope()
+}

@@ -1,0 +1,22 @@
+package lint
+
+// All returns every registered analyzer, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Aliasret,
+		Bannedcall,
+		Droppederr,
+		Expunderflow,
+		Floatcmp,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Bannedcall flags calls that library packages (anything under internal/)
+// must not make, plus a performance foot-gun that is banned everywhere:
+//
+//   - fmt.Print/Printf/Println: libraries report through return values,
+//     not stdout; printing belongs to the cmd/ and examples/ layers;
+//   - os.Exit: robs callers (and deferred cleanup) of control;
+//   - panic: the checking procedures return errors for every expected
+//     failure; panics are reserved for programmer-error invariants and
+//     need an explicit //lint:ignore bannedcall justification;
+//   - the print/println builtins, in any package;
+//   - math.Pow(x, n) for small integer constant n, in any package:
+//     x*x beats the general pow kernel on the uniformisation hot paths
+//     and is exact for the common squares/cubes.
+var Bannedcall = &Analyzer{
+	Name: "bannedcall",
+	Doc:  "flags fmt.Print*/os.Exit/panic in library packages and math.Pow with small constant exponents",
+	Run:  runBannedcall,
+}
+
+// maxPowExponent is the largest |n| for which math.Pow(x, n) is flagged.
+const maxPowExponent = 4
+
+func runBannedcall(pass *Pass) error {
+	isLibrary := isInternalPath(pass.PkgPath) && pass.Pkg.Name() != "main"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isBuiltin(pass.Info, call, "print") || isBuiltin(pass.Info, call, "println"):
+				pass.Reportf(call.Pos(), "builtin %s writes to stderr and survives into release builds; use fmt or a return value",
+					call.Fun.(*ast.Ident).Name)
+			case isLibrary && isBuiltin(pass.Info, call, "panic"):
+				pass.Reportf(call.Pos(), "panic in library package %s; return an error (//lint:ignore bannedcall <reason> for invariant checks)",
+					pass.Pkg.Name())
+			case isLibrary && isPkgFunc(pass.Info, call, "os", "Exit"):
+				pass.Reportf(call.Pos(), "os.Exit in library package %s skips deferred cleanup and robs callers of control; return an error",
+					pass.Pkg.Name())
+			case isLibrary && isFmtPrint(pass, call):
+				pass.Reportf(call.Pos(), "%s writes to stdout from library package %s; printing belongs in cmd/ or examples/",
+					callName(pass, call), pass.Pkg.Name())
+			case isPkgFunc(pass.Info, call, "math", "Pow") && len(call.Args) == 2:
+				if n, ok := exactIntValue(pass.Info, call.Args[1]); ok && n >= -maxPowExponent && n <= maxPowExponent {
+					pass.Reportf(call.Pos(), "math.Pow(x, %d) on a numeric path; multiply out (x*x…) — faster and exact", n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFmtPrint(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Print")
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Droppederr flags error returns that vanish without a trace:
+//
+//   - a call used as a bare statement whose results include an error
+//     (`w.Write(record)` instead of `if err := w.Write(record); ...`);
+//   - an error from a module-internal API assigned to the blank
+//     identifier (`v, _ := solver.Solve(...)`, `_ = m.Validate()`).
+//
+// The numerical procedures signal non-convergence and accuracy failure
+// through errors; dropping one turns "the answer is wrong" into "the
+// answer looks fine". Deliberate discards take a //lint:ignore droppederr
+// comment with the justification.
+//
+// fmt.Print* (and fmt.Fprint* to os.Stdout/os.Stderr) are exempt, as are
+// the never-failing writers strings.Builder and bytes.Buffer, and calls in
+// defer/go statements (where handling has no useful control path).
+var Droppederr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flags discarded error returns, including _ = on errors from internal APIs",
+	Run:  runDroppederr,
+}
+
+func runDroppederr(pass *Pass) error {
+	deferred := make(map[*ast.CallExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				deferred[n.Call] = true
+			case *ast.GoStmt:
+				deferred[n.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := unparen(n.X).(*ast.CallExpr)
+				if !ok || deferred[call] {
+					return true
+				}
+				if !resultHasError(pass, call) || exemptDiscard(pass, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s returns an error that is silently dropped", callName(pass, call))
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankAssign reports blank-identifier discards of errors produced by
+// module-internal APIs.
+func checkBlankAssign(pass *Pass, as *ast.AssignStmt) {
+	// v, _ := internalCall() — one call, tuple result.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !internalCallee(pass, call) {
+			return
+		}
+		tuple, ok := pass.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i >= tuple.Len() {
+				break
+			}
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error from internal API %s discarded with _", callName(pass, call))
+			}
+		}
+		return
+	}
+	// _ = internalCall() pairs.
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		call, ok := unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok || !internalCallee(pass, call) {
+			continue
+		}
+		if t := pass.TypeOf(call); t != nil && isErrorType(t) {
+			pass.Reportf(lhs.Pos(), "error from internal API %s discarded with _", callName(pass, call))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// resultHasError reports whether the call's result type includes an error.
+func resultHasError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// internalCallee reports whether the call resolves to a function or method
+// defined in an internal/ package (of this module or, within the current
+// package, the package itself when it is internal).
+func internalCallee(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return isInternalPath(fn.Pkg().Path())
+}
+
+// exemptDiscard allows the conventional never-fail or best-effort writers.
+func exemptDiscard(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			// Best-effort terminal output is fine in command packages;
+			// libraries only get the never-failing in-memory writers.
+			if pass.Pkg.Name() == "main" {
+				return true
+			}
+			return len(call.Args) > 0 && (isStdStream(call.Args[0]) || isMemWriter(pass, call.Args[0]))
+		}
+	}
+	// Methods on strings.Builder / bytes.Buffer document err == nil.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		switch rt.String() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// isMemWriter reports whether the writer expression is a strings.Builder
+// or bytes.Buffer, whose Write methods document err == nil.
+func isMemWriter(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.String() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream matches the expressions os.Stdout and os.Stderr.
+func isStdStream(e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+func callName(pass *Pass, call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

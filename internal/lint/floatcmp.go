@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatcmp flags == and != between floating-point operands. Exact float
+// equality is almost never what a numerical procedure wants: iterates that
+// agree to 1e-16 still compare unequal, and probabilities computed along
+// different paths rarely bit-match. Approved patterns stay silent:
+//
+//   - comparison against a literal/constant 0 (the sparse-skip idiom
+//     `if x == 0 { continue }` on values that were assigned exactly);
+//   - the NaN self-test `x != x`;
+//   - comparisons inside tolerance helpers themselves (ApproxEqual and
+//     friends), which need exact semantics for infinities.
+var Floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between floating-point operands; use numeric.ApproxEqual or an explicit tolerance",
+	Run:  runFloatcmp,
+}
+
+// approvedCmpFuncs are tolerance helpers allowed to compare floats exactly
+// (they handle the infinity/NaN edge cases that motivate the exception).
+var approvedCmpFuncs = map[string]bool{
+	"ApproxEqual": true, "approxEqual": true,
+	"AlmostEqual": true, "almostEqual": true,
+}
+
+func runFloatcmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return
+			}
+			tx, ty := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+				return
+			}
+			if isZeroConst(pass.Info, be.X) || isZeroConst(pass.Info, be.Y) {
+				return
+			}
+			if types.ExprString(unparen(be.X)) == types.ExprString(unparen(be.Y)) {
+				return // NaN self-test x != x
+			}
+			if approvedCmpFuncs[enclosingFuncName(stack)] {
+				return
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison on %s; use numeric.ApproxEqual or an explicit tolerance",
+				be.Op, types.ExprString(be.X))
+		})
+	}
+	return nil
+}

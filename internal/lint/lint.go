@@ -1,0 +1,197 @@
+// Package lint is a small static-analysis framework for this repository,
+// built on the standard library's go/ast, go/parser and go/types packages
+// only — no external analysis dependencies. It exists to enforce the
+// numerical-hygiene rules that the model-checking procedures depend on
+// (no naked float equality, no underflow-prone exp/log arithmetic outside
+// internal/numeric, no silently dropped errors, no aliased internal
+// buffers escaping from the matrix/model packages).
+//
+// The cmd/mrmlint driver runs every registered analyzer over the module.
+// Individual findings can be suppressed with a comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is a single named check that inspects one type-checked package
+// at a time and reports diagnostics through its Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable/disable flags
+	// and //lint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description shown by `mrmlint -list`.
+	Doc string
+	// Run inspects the package held by the pass and reports findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files, parsed with comments.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the package's import path within the module.
+	PkgPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one finding, positioned in the original source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// ignoreDirective is a parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers map[string]bool // names the directive suppresses
+	used      bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts the //lint:ignore directives from a file and
+// reports malformed ones (missing analyzer or reason) as diagnostics so
+// suppressions stay auditable.
+func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool, diags *[]Diagnostic) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "ignore",
+					Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+				})
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			set := make(map[string]bool, len(names))
+			bad := false
+			for _, n := range names {
+				if !known[n] {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", n),
+					})
+					bad = true
+					continue
+				}
+				set[n] = true
+			}
+			if bad && len(set) == 0 {
+				continue
+			}
+			out = append(out, &ignoreDirective{line: pos.Line, analyzers: set})
+		}
+	}
+	return out
+}
+
+// Runner applies a set of analyzers to packages.
+type Runner struct {
+	Analyzers []*Analyzer
+}
+
+// NewRunner returns a runner over the given analyzers.
+func NewRunner(as []*Analyzer) *Runner { return &Runner{Analyzers: as} }
+
+// RunPackage runs every analyzer over pkg and returns the surviving
+// diagnostics, sorted by position, with //lint:ignore suppressions applied.
+func (r *Runner) RunPackage(pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range r.Analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	known := make(map[string]bool, len(r.Analyzers))
+	for _, a := range r.Analyzers {
+		known[a.Name] = true
+	}
+	// Suppression directives and their diagnostics, per file.
+	var directiveDiags []Diagnostic
+	ignores := make(map[string][]*ignoreDirective)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		ignores[name] = parseIgnores(pkg.Fset, f, known, &directiveDiags)
+	}
+	kept := directiveDiags
+	for _, d := range diags {
+		if !suppressed(d, ignores[d.Pos.Filename]) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}
+
+// suppressed reports whether a directive on the diagnostic's line or the
+// line immediately above it names the diagnostic's analyzer.
+func suppressed(d Diagnostic, dirs []*ignoreDirective) bool {
+	for _, dir := range dirs {
+		if (dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) && dir.analyzers[d.Analyzer] {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}

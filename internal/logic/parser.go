@@ -44,6 +44,7 @@ func Parse(input string) (StateFormula, error) {
 func MustParse(input string) StateFormula {
 	f, err := Parse(input)
 	if err != nil {
+		//lint:ignore bannedcall panicking on malformed literals is MustParse's documented contract (regexp.MustCompile convention)
 		panic(err)
 	}
 	return f

@@ -90,6 +90,7 @@ func (m *MRM) InitialState() int {
 			if idx != -1 {
 				return -1
 			}
+			//lint:ignore floatcmp a point mass is stored as exactly 1 by the Builder; any other value means a proper distribution
 			if a != 1 {
 				return -1
 			}

@@ -179,6 +179,7 @@ func (s *StateSet) String() string {
 
 func (s *StateSet) mustMatch(t *StateSet) {
 	if s.n != t.n {
+		//lint:ignore bannedcall mixing universes is a programmer error, like an out-of-bounds index; set algebra stays error-free
 		panic(fmt.Sprintf("mrm: state-set universe mismatch %d vs %d", s.n, t.n))
 	}
 }

@@ -140,6 +140,7 @@ func ReduceForUntil(m *MRM, phi, psi *StateSet) (*UntilReduction, error) {
 			}
 			iv := m.Impulse(s, t)
 			if prev, ok := seenImpulse[target]; ok {
+				//lint:ignore floatcmp amalgamation soundness needs exact agreement of impulses copied verbatim from the model
 				if prev != iv && impulseErr == nil {
 					impulseErr = fmt.Errorf("%w: transitions from %s amalgamated into one carry different impulse rewards (%v vs %v); Theorem 1 amalgamation is not applicable", ErrModel, m.Name(s), prev, iv)
 				}

@@ -44,6 +44,11 @@ func SolveGaussSeidel(a *sparse.CSR, b []float64, opts SolveOptions) ([]float64,
 	if opts.Omega == 0 {
 		opts.Omega = 1
 	}
+	// SOR diverges outside the classical relaxation window (0, 2); reject
+	// (NaN included) instead of iterating to the cap on a divergent sweep.
+	if !(opts.Omega > 0 && opts.Omega < 2) {
+		return nil, fmt.Errorf("numeric: SOR relaxation factor Omega=%v outside (0, 2)", opts.Omega)
+	}
 	x := make([]float64, n)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		var maxDelta float64

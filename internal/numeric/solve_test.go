@@ -109,6 +109,74 @@ func TestSolveNoConvergence(t *testing.T) {
 	}
 }
 
+func TestSolveToleranceDefaults(t *testing.T) {
+	// Zero and negative tolerances fall back to the conservative default
+	// instead of looping forever (tol 0 can never be undercut) or
+	// accepting the first iterate (negative tol).
+	a := mustCSR(t, 2, []sparse.Triplet{
+		{Row: 0, Col: 1, Val: 0.5},
+		{Row: 1, Col: 0, Val: 0.5},
+	})
+	b := []float64{0.5, 0.5}
+	want := []float64{1, 1} // x = 0.5x' + 0.5 with symmetry → x = 1
+	for _, tol := range []float64{0, -1, math.Inf(-1)} {
+		for name, solve := range map[string]func(*sparse.CSR, []float64, SolveOptions) ([]float64, error){
+			"GaussSeidel": SolveGaussSeidel,
+			"Jacobi":      SolveJacobi,
+		} {
+			x, err := solve(a, b, SolveOptions{Tolerance: tol})
+			if err != nil {
+				t.Fatalf("%s tol=%v: %v", name, tol, err)
+			}
+			if sparse.MaxDiff(x, want) > 1e-9 {
+				t.Errorf("%s tol=%v: x = %v, want %v", name, tol, x, want)
+			}
+		}
+	}
+}
+
+func TestSolveIterationCap(t *testing.T) {
+	// Both solvers must surface ErrNoConvergence (wrapped, so errors.Is)
+	// when the cap is too small, rather than returning the stale iterate.
+	a := mustCSR(t, 2, []sparse.Triplet{
+		{Row: 0, Col: 1, Val: 0.999999},
+		{Row: 1, Col: 0, Val: 0.999999},
+	})
+	opts := SolveOptions{Tolerance: 1e-15, MaxIterations: 2}
+	if _, err := SolveGaussSeidel(a, []float64{1, 1}, opts); !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("Gauss-Seidel: want ErrNoConvergence, got %v", err)
+	}
+	if _, err := SolveJacobi(a, []float64{1, 1}, opts); !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("Jacobi: want ErrNoConvergence, got %v", err)
+	}
+}
+
+func TestSOROmegaValidation(t *testing.T) {
+	a := mustCSR(t, 2, []sparse.Triplet{
+		{Row: 0, Col: 1, Val: 0.5},
+		{Row: 1, Col: 0, Val: 0.5},
+	})
+	b := []float64{0.5, 0.5}
+	for _, omega := range []float64{-0.5, 2, 2.5, math.NaN()} {
+		if _, err := SolveGaussSeidel(a, b, SolveOptions{Omega: omega}); err == nil {
+			t.Errorf("Omega=%v accepted; want error", omega)
+		} else if errors.Is(err, ErrNoConvergence) {
+			t.Errorf("Omega=%v reported as non-convergence instead of a parameter error: %v", omega, err)
+		}
+	}
+	// In-range relaxation factors still solve the system, and Omega = 0
+	// keeps its backward-compatible meaning "default to Gauss-Seidel".
+	for _, omega := range []float64{0, 0.5, 1, 1.5, 1.9} {
+		x, err := SolveGaussSeidel(a, b, SolveOptions{Omega: omega})
+		if err != nil {
+			t.Fatalf("Omega=%v: %v", omega, err)
+		}
+		if sparse.MaxDiff(x, []float64{1, 1}) > 1e-9 {
+			t.Errorf("Omega=%v: x = %v, want [1 1]", omega, x)
+		}
+	}
+}
+
 func TestGaussianEliminate(t *testing.T) {
 	m := [][]float64{
 		{2, 1, -1},

@@ -19,7 +19,6 @@ package sericola
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/numeric"
@@ -124,7 +123,16 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 		rho[s] = m.Reward(s) - rhoMin
 	}
 
-	hMat, tMat := run(p, rho, shifted, h, x, lambda*t, nSteps)
+	// Poisson and binomial pmf terms come from internal/numeric's log-space
+	// helpers (see the expunderflow analyzer): level ≤ nSteps and k ≤ level
+	// bound both table sizes.
+	poisPMF, err := numeric.PoissonPMFTable(lambda*t, nSteps)
+	if err != nil {
+		return nil, fmt.Errorf("sericola: %w", err)
+	}
+	lf := numeric.LogFactorials(nSteps)
+
+	hMat, tMat := run(p, rho, shifted, h, x, poisPMF, lf, nSteps)
 
 	res := &Result{Values: make([]float64, n), N: nSteps}
 	goalIdx := goal.Slice()
@@ -157,8 +165,9 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (floa
 }
 
 // run executes the C(h,n,k) recursion and returns (H, Pois-weighted
-// transient matrix), both flattened row-major n×n.
-func run(p *sparse.CSR, rho, bands []float64, hTarget int, x, qt float64, nSteps int) (hMat, tMat []float64) {
+// transient matrix), both flattened row-major n×n. poisPMF and lf are the
+// precomputed Poisson pmf and log-factorial tables covering 0..nSteps.
+func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF func(int) float64, lf []float64, nSteps int) (hMat, tMat []float64) {
 	n := p.Dim()
 	mBands := len(bands) - 1
 
@@ -193,32 +202,7 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x, qt float64, nSteps
 	hMat = newMat()
 	tMat = newMat()
 
-	// Log-factorials for binomial pmf terms.
-	lf := make([]float64, nSteps+2)
-	for i := 2; i < len(lf); i++ {
-		lf[i] = lf[i-1] + math.Log(float64(i))
-	}
-	binomPMF := func(nn, k int) float64 {
-		switch {
-		case x == 0:
-			if k == 0 {
-				return 1
-			}
-			return 0
-		case x == 1:
-			if k == nn {
-				return 1
-			}
-			return 0
-		}
-		return math.Exp(lf[nn] - lf[k] - lf[nn-k] +
-			float64(k)*math.Log(x) + float64(nn-k)*math.Log(1-x))
-	}
-
-	logQt := math.Log(qt)
-	poisPMF := func(nn int) float64 {
-		return math.Exp(-qt + float64(nn)*logQt - lf[nn])
-	}
+	binomPMF := func(nn, k int) float64 { return numeric.BinomialPMF(lf, nn, k, x) }
 
 	// Level n = 0: C(h,0,0) = diag(1{up(h,i)}).
 	for h := 1; h <= mBands; h++ {

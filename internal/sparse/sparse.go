@@ -138,6 +138,7 @@ func (m *CSR) Each(fn func(i, j int, v float64)) {
 // alias each other.
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(dst) != m.n || len(x) != m.n {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
 		panic("sparse: MulVec dimension mismatch")
 	}
 	for i := 0; i < m.n; i++ {
@@ -153,6 +154,7 @@ func (m *CSR) MulVec(dst, x []float64) {
 // dst and x must have length Dim and must not alias each other.
 func (m *CSR) MulVecT(dst, x []float64) {
 	if len(dst) != m.n || len(x) != m.n {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
 		panic("sparse: MulVecT dimension mismatch")
 	}
 	for i := range dst {
@@ -173,6 +175,7 @@ func (m *CSR) MulVecT(dst, x []float64) {
 // row-major as [][]float64. C must be preallocated and must not alias B.
 func (m *CSR) MulMat(c, b [][]float64) {
 	if len(c) != m.n || len(b) != m.n {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
 		panic("sparse: MulMat dimension mismatch")
 	}
 	for i := 0; i < m.n; i++ {

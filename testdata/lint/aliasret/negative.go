@@ -1,0 +1,28 @@
+// Negative cases for the aliasret analyzer: copies, locally built slices
+// and unexported helpers are fine even in internal/sparse.
+package sparse
+
+type Vector struct {
+	val []float64
+}
+
+// Unexported: package-internal callers share buffers deliberately.
+func (v *Vector) raw() []float64 { return v.val }
+
+func (v *Vector) Values() []float64 {
+	out := make([]float64, len(v.val))
+	copy(out, v.val)
+	return out
+}
+
+func (v *Vector) Appended() []float64 { return append([]float64(nil), v.val...) }
+
+func (v *Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v.raw() {
+		s += x
+	}
+	return s
+}
+
+func Fresh(n int) []float64 { return make([]float64, n) }

@@ -1,0 +1,10 @@
+// Negative case for the aliasret analyzer: packages outside
+// internal/sparse and internal/mrm are out of scope (this file is checked
+// under a different internal import path).
+package fake
+
+type Box struct {
+	data []int
+}
+
+func (b *Box) Data() []int { return b.data }

@@ -1,0 +1,18 @@
+// Positive cases for the aliasret analyzer, checked as if this file were
+// internal/sparse: exported functions leaking internal slice buffers.
+package sparse
+
+type Matrix struct {
+	val  []float64
+	rows [][]float64
+}
+
+func (m *Matrix) Values() []float64 { return m.val } // want "returns internal slice m.val without copying"
+
+func (m *Matrix) Row(i int) []float64 { return m.rows[i] } // want "returns internal slice m.rows without copying"
+
+func (m *Matrix) Window(a, b int) []float64 { return m.val[a:b] } // want "returns internal slice m.val without copying"
+
+var scratch = make([]float64, 64)
+
+func Scratch() []float64 { return scratch } // want "returns internal slice scratch without copying"

@@ -1,0 +1,23 @@
+// Negative cases for the bannedcall analyzer: command packages may print,
+// exit and panic, and math.Pow with large or non-constant exponents is the
+// right tool.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+)
+
+func main() {
+	fmt.Println("fine in a command")
+	x := 1.5
+	_ = x * x                              // already multiplied out
+	_ = math.Pow(x, 7.5)                   // fractional exponent
+	_ = math.Pow(x, 12)                    // large exponent: Pow is the right call
+	_ = math.Pow(x, float64(len(os.Args))) // non-constant exponent
+	if len(os.Args) > 9 {
+		panic("too many arguments")
+	}
+	os.Exit(0)
+}

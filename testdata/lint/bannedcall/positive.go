@@ -1,0 +1,30 @@
+// Positive cases for the bannedcall analyzer, checked as if this file
+// lived in an internal library package.
+package fake
+
+import (
+	"fmt"
+	"math"
+	"os"
+)
+
+func report(x float64) float64 {
+	fmt.Println("value:", x) // want "fmt.Println writes to stdout from library package"
+	fmt.Printf("%g\n", x)    // want "fmt.Printf writes to stdout from library package"
+	println("debug", x)      // want "builtin println writes to stderr"
+	if x < 0 {
+		panic("negative input") // want "panic in library package"
+	}
+	if x > 1e300 {
+		os.Exit(1) // want "os.Exit in library package"
+	}
+	return math.Pow(x, 2) // want "math.Pow(x, 2)"
+}
+
+func cube(x float64) float64 {
+	return math.Pow(x, 3) // want "math.Pow(x, 3)"
+}
+
+func reciprocal(x float64) float64 {
+	return math.Pow(x, -1) // want "math.Pow(x, -1)"
+}

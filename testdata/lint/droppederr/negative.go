@@ -1,0 +1,30 @@
+// Negative cases for the droppederr analyzer: handled errors, never-fail
+// in-memory writers, best-effort std streams and defers stay silent.
+package fake
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func check() error { return errors.New("boom") }
+
+func compute() (float64, error) { return 1, nil }
+
+func handleThem() (float64, error) {
+	if err := check(); err != nil {
+		return 0, fmt.Errorf("wrapped: %w", err)
+	}
+	v, err := compute()
+	if err != nil {
+		return 0, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v=%g", v)       // strings.Builder never fails
+	fmt.Fprintln(os.Stderr, b.Len()) // best-effort std stream
+	fmt.Println("done")              // fmt.Print* is best-effort by convention
+	defer check()                    // defers have no useful control path
+	return v, nil
+}

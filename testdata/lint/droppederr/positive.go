@@ -1,0 +1,17 @@
+// Positive cases for the droppederr analyzer, checked as if this file
+// lived in an internal package (so its own functions count as internal
+// APIs).
+package fake
+
+import "errors"
+
+func validate() error { return errors.New("invalid") }
+
+func solve() (float64, error) { return 0, errors.New("no convergence") }
+
+func dropThem() float64 {
+	validate()      // want "validate returns an error that is silently dropped"
+	_ = validate()  // want "error from internal API validate discarded with _"
+	v, _ := solve() // want "error from internal API solve discarded with _"
+	return v
+}

@@ -1,0 +1,14 @@
+// Negative cases for the expunderflow analyzer: this file is checked as if
+// it lived in internal/numeric, the one package allowed to hand-roll
+// log-space probability terms (it defines the sanctioned helpers).
+package numeric
+
+import "math"
+
+func pmfInsideNumeric(q float64, n int, lf []float64) float64 {
+	return math.Exp(-q + float64(n)*math.Log(q) - lf[n])
+}
+
+func expOfSum(a, b float64) float64 {
+	return math.Exp(a + b)
+}

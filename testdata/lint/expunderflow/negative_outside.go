@@ -1,0 +1,17 @@
+// Negative cases for the expunderflow analyzer outside internal/numeric:
+// plain exponentials with no log-domain operands are fine anywhere.
+package fake
+
+import "math"
+
+func survival(rate, t float64) float64 {
+	return math.Exp(-rate * t)
+}
+
+func expOfSum(a, b float64) float64 {
+	return math.Exp(a + b)
+}
+
+func scaledExp(a, c float64) float64 {
+	return c * math.Exp(a) // single Exp factor: no underflow pairing
+}

@@ -1,0 +1,29 @@
+// Positive cases for the expunderflow analyzer, checked as if this file
+// lived in an internal package other than internal/numeric.
+package fake
+
+import "math"
+
+func productOfExps(a, b float64) float64 {
+	return math.Exp(a) * math.Exp(b) // want "product of math.Exp calls"
+}
+
+func chainOfExps(a, b, c float64) float64 {
+	return math.Exp(a) * c * math.Exp(b) // want "product of math.Exp calls"
+}
+
+func logExpRoundTrip(x float64) float64 {
+	return math.Log(math.Exp(x)) // want "math.Log(math.Exp(x)) is x"
+}
+
+func expLogRoundTrip(x float64) float64 {
+	return math.Exp(math.Log(x)) // want "math.Exp(math.Log(x)) is x"
+}
+
+func handRolledPoisson(q float64, n int, lf []float64) float64 {
+	return math.Exp(-q + float64(n)*math.Log(q) - lf[n]) // want "hand-rolled log-space probability term"
+}
+
+func cachedLogTerm(logQ float64, n int) float64 {
+	return math.Exp(float64(n) * logQ) // want "hand-rolled log-space probability term"
+}

@@ -1,0 +1,24 @@
+// Negative cases for the floatcmp analyzer: the approved comparison
+// patterns must stay silent.
+package fake
+
+import "math"
+
+// The sparse-skip idiom: values assigned exactly zero compare exactly.
+func skipZero(x float64) bool { return x == 0 }
+
+func skipZeroFlipped(x float64) bool { return 0.0 != x }
+
+// The NaN self-test.
+func isNaN(x float64) bool { return x != x }
+
+// Tolerance helpers themselves need exact semantics for infinities.
+func approxEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// Integer comparisons are not the analyzer's business.
+func intEqual(a, b int) bool { return a == b }

@@ -1,0 +1,20 @@
+// Positive cases for the floatcmp analyzer: naked equality between
+// floating-point operands, checked as if this file lived in an internal
+// library package.
+package fake
+
+func probEqual(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func notConverged(delta, tol float64) bool {
+	return delta != tol // want "floating-point != comparison"
+}
+
+func exactOne(p float64) bool {
+	return p == 1 // want "floating-point == comparison"
+}
+
+func mixedWidth(x float32, y float32) bool {
+	return x == y // want "floating-point == comparison"
+}

@@ -1,0 +1,14 @@
+// Cases for directive validation, asserted directly by TestIgnoreDirectives:
+// a reason-less directive and an unknown analyzer name are both reported,
+// and neither suppresses the finding it sits on.
+package fake
+
+func missingReason(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	//lint:ignore nosuchcheck the reason does not rescue an unknown name
+	return a == b
+}

@@ -1,0 +1,13 @@
+// Negative cases for the suppression mechanism: a well-formed
+// //lint:ignore directive on the flagged line or the line above silences
+// exactly the named analyzer.
+package fake
+
+func aboveLine(a, b float64) bool {
+	//lint:ignore floatcmp exact equality is the documented contract of this helper
+	return a == b
+}
+
+func sameLine(a, b float64) bool {
+	return a != b //lint:ignore floatcmp exact inequality is intentional here
+}
