@@ -20,6 +20,7 @@ lint:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
+	$(GO) run ./cmd/perfbench -compare
 
 fmt:
 	gofmt -l -w .

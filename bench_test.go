@@ -190,6 +190,47 @@ func BenchmarkQ3FullChecker(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelWorkers is the sequential-vs-parallel pair for the P3
+// procedures' parallel engine: each sub-benchmark runs the same workload
+// with Workers: 1 (the exact legacy path) and Workers: 0 (all CPUs). On a
+// single-core machine the pair should be a wash; the speedup column of
+// `perfbench -compare` reports the same contrast with wall-clock times.
+func BenchmarkParallelWorkers(b *testing.B) {
+	m, goal, _ := q3Setup(b)
+	for _, bench := range []struct {
+		name string
+		run  func(workers int) error
+	}{
+		{"sericola", func(workers int) error {
+			_, err := sericola.ReachProbAll(m, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound,
+				sericola.Options{Epsilon: 1e-6, Lambda: adhoc.PaperLambda, Workers: workers})
+			return err
+		}},
+		{"erlang", func(workers int) error {
+			_, err := erlang.ReachProbAll(m, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound,
+				erlang.Options{K: 256, Transient: transient.Options{Epsilon: 1e-12, Workers: workers}})
+			return err
+		}},
+		{"discretise", func(workers int) error {
+			_, err := discretise.ReachProbAll(m, goal, 6, 150, discretise.Options{D: 1.0 / 32, Workers: workers})
+			return err
+		}},
+	} {
+		for _, w := range []struct {
+			label   string
+			workers int
+		}{{"workers=1", 1}, {"workers=all", 0}} {
+			b.Run(bench.name+"/"+w.label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := bench.run(w.workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationPoissonWeights compares Fox–Glynn against the naive

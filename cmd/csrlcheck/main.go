@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) (int, error) {
 		epsilon   = fs.Float64("epsilon", 1e-9, "accuracy for uniformisation-based computations")
 		k         = fs.Int("k", 256, "phase count for -algorithm erlang")
 		d         = fs.Float64("d", 0, "step for -algorithm discretise (0 = automatic)")
+		workers   = fs.Int("workers", 0, "worker goroutines for the numerical procedures (0 = all CPUs, 1 = sequential)")
 		states    = fs.Bool("states", false, "list every state with its verdict/value")
 		doLump    = fs.Bool("lump", false, "lump the model w.r.t. the formula's atoms before checking")
 	)
@@ -75,6 +76,7 @@ func run(args []string, out io.Writer) (int, error) {
 	opts.Epsilon = *epsilon
 	opts.ErlangK = *k
 	opts.DiscretiseStep = *d
+	opts.Workers = *workers
 	switch strings.ToLower(*algorithm) {
 	case "sericola", "occupation-time":
 		opts.P3 = core.AlgSericola

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/performability/csrl/internal/adhoc"
@@ -29,9 +30,11 @@ import (
 	"github.com/performability/csrl/internal/logic"
 	"github.com/performability/csrl/internal/modelfile"
 	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/parallel"
 	"github.com/performability/csrl/internal/sericola"
 	"github.com/performability/csrl/internal/sim"
 	"github.com/performability/csrl/internal/srn"
+	"github.com/performability/csrl/internal/transient"
 )
 
 func main() {
@@ -44,15 +47,17 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
 	var (
-		table  = fs.Int("table", 0, "regenerate table 1-4")
-		figure = fs.Int("figure", 0, "regenerate figure 1-2")
-		q      = fs.Int("q", 0, "check property Q1-Q3")
-		all    = fs.Bool("all", false, "regenerate everything")
-		rBound = fs.Float64("r", adhoc.Q3PaperRewardBound, "reward bound for the Q3 path formula (mAh)")
-		tBound = fs.Float64("t", adhoc.Q3TimeBound, "time bound for the Q3 path formula (hours)")
-		paths  = fs.Int("paths", 5, "trajectories for -figure 1")
-		seed   = fs.Int64("seed", 1, "simulation seed")
-		dump   = fs.String("dump-model", "", "write the case-study MRM as JSON to this path and exit")
+		table   = fs.Int("table", 0, "regenerate table 1-4")
+		figure  = fs.Int("figure", 0, "regenerate figure 1-2")
+		q       = fs.Int("q", 0, "check property Q1-Q3")
+		all     = fs.Bool("all", false, "regenerate everything")
+		rBound  = fs.Float64("r", adhoc.Q3PaperRewardBound, "reward bound for the Q3 path formula (mAh)")
+		tBound  = fs.Float64("t", adhoc.Q3TimeBound, "time bound for the Q3 path formula (hours)")
+		paths   = fs.Int("paths", 5, "trajectories for -figure 1")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		dump    = fs.String("dump-model", "", "write the case-study MRM as JSON to this path and exit")
+		workers = fs.Int("workers", 0, "worker goroutines for the numerical procedures (0 = all CPUs, 1 = sequential)")
+		compare = fs.Bool("compare", false, "time one workload sequentially and in parallel and report the speedup")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,9 +65,9 @@ func run(args []string, w io.Writer) error {
 	if *dump != "" {
 		return dumpModel(w, *dump)
 	}
-	if !*all && *table == 0 && *figure == 0 && *q == 0 {
+	if !*all && !*compare && *table == 0 && *figure == 0 && *q == 0 {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -table, -figure, -q or -all")
+		return fmt.Errorf("nothing to do: pass -table, -figure, -q, -compare or -all")
 	}
 
 	red, err := adhoc.Q3Reduced()
@@ -71,6 +76,12 @@ func run(args []string, w io.Writer) error {
 	}
 	goal := red.Model.Label("goal")
 	init := red.Model.InitialState()
+
+	if *compare {
+		if err := compareWorkload(w, red.Model, goal, *workers); err != nil {
+			return err
+		}
+	}
 
 	do := func(n int, sel *int, fn func() error) error {
 		if *all || *sel == n {
@@ -82,13 +93,13 @@ func run(args []string, w io.Writer) error {
 		func() error { return do(1, table, func() error { return table1(w) }) },
 		func() error { return do(2, figure, func() error { return figure2(w) }) },
 		func() error {
-			return do(2, table, func() error { return table2(w, red.Model, goal, init, *tBound, *rBound) })
+			return do(2, table, func() error { return table2(w, red.Model, goal, init, *tBound, *rBound, *workers) })
 		},
 		func() error {
-			return do(3, table, func() error { return table3(w, red.Model, goal, init, *tBound, *rBound) })
+			return do(3, table, func() error { return table3(w, red.Model, goal, init, *tBound, *rBound, *workers) })
 		},
 		func() error {
-			return do(4, table, func() error { return table4(w, red.Model, goal, init, *tBound, *rBound) })
+			return do(4, table, func() error { return table4(w, red.Model, goal, init, *tBound, *rBound, *workers) })
 		},
 		func() error {
 			return do(1, figure, func() error { return figure1(w, red.Model, goal, init, *tBound, *rBound, *paths, *seed) })
@@ -150,12 +161,12 @@ func table1(w io.Writer) error {
 	return nil
 }
 
-func table2(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float64) error {
+func table2(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float64, workers int) error {
 	fmt.Fprintf(w, "Table 2: occupation-time distribution algorithm (t=%g, r=%g, λ=%g)\n\n", tb, rb, adhoc.PaperLambda)
 	fmt.Fprintf(w, "  %-8s %-5s %-14s %s\n", "eps", "N", "value", "time")
 	for _, eps := range []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8} {
 		start := time.Now()
-		res, err := sericola.ReachProbAll(m, goal, tb, rb, sericola.Options{Epsilon: eps, Lambda: adhoc.PaperLambda})
+		res, err := sericola.ReachProbAll(m, goal, tb, rb, sericola.Options{Epsilon: eps, Lambda: adhoc.PaperLambda, Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -165,7 +176,7 @@ func table2(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float6
 	return nil
 }
 
-func table3(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float64) error {
+func table3(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float64, workers int) error {
 	fmt.Fprintf(w, "Table 3: pseudo-Erlang approximation (t=%g, r=%g)\n\n", tb, rb)
 	// Reference value for the relative-error column, as in the paper.
 	ref, err := sericola.ReachProbAll(m, goal, tb, rb, sericola.Options{Epsilon: 1e-10})
@@ -176,7 +187,8 @@ func table3(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float6
 	fmt.Fprintf(w, "  %-6s %-14s %-10s %s\n", "k", "value", "rel.err", "time")
 	for k := 1; k <= 1024; k *= 2 {
 		start := time.Now()
-		vals, err := erlang.ReachProbAll(m, goal, tb, rb, erlang.Options{K: k})
+		opts := erlang.Options{K: k, Transient: transient.Options{Epsilon: 1e-12, Workers: workers}}
+		vals, err := erlang.ReachProbAll(m, goal, tb, rb, opts)
 		if err != nil {
 			return err
 		}
@@ -187,7 +199,7 @@ func table3(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float6
 	return nil
 }
 
-func table4(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float64) error {
+func table4(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float64, workers int) error {
 	fmt.Fprintf(w, "Table 4: Tijms–Veldman discretisation (t=%g, r=%g)\n\n", tb, rb)
 	ref, err := sericola.ReachProbAll(m, goal, tb, rb, sericola.Options{Epsilon: 1e-10})
 	if err != nil {
@@ -200,6 +212,7 @@ func table4(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, init int, tb, rb float6
 		v, err := discretise.ReachProb(m, goal, tb, rb, init, discretise.Options{
 			D:           1 / float64(den),
 			AllowCoarse: den < 20, // the paper's first row exceeds 1/max E(s)
+			Workers:     workers,
 		})
 		if err != nil {
 			return err
@@ -300,6 +313,49 @@ func dumpModel(w io.Writer, path string) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote the 9-state case-study MRM to %s\n", path)
+	return nil
+}
+
+// compareWorkload times one representative P3 workload — the Tijms–Veldman
+// ReachProbAll on the Q3 reduction, whose |S| independent runs are the
+// archetypal embarrassingly-parallel hot path — once with Workers: 1 and
+// once with the requested parallelism, and reports both times, the
+// speedup, and the largest per-state deviation between the two results.
+func compareWorkload(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, workers int) error {
+	eff := parallel.Resolve(workers)
+	if workers == 1 {
+		eff = parallel.Resolve(0) // comparing 1 vs 1 would be pointless
+	}
+	// Shorter bounds than Table 4 keep the smoke run quick; the code path
+	// is identical to the full workload.
+	const tb, rb, d = 6.0, 150.0, 1.0 / 64
+	opts := discretise.Options{D: d, Workers: 1}
+	start := time.Now()
+	seq, err := discretise.ReachProbAll(m, goal, tb, rb, opts)
+	if err != nil {
+		return err
+	}
+	seqTime := time.Since(start)
+	opts.Workers = eff
+	start = time.Now()
+	par, err := discretise.ReachProbAll(m, goal, tb, rb, opts)
+	if err != nil {
+		return err
+	}
+	parTime := time.Since(start)
+	var maxDiff float64
+	for s := range par {
+		if diff := abs(par[s] - seq[s]); diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	fmt.Fprintf(w, "Sequential/parallel comparison: discretisation ReachProbAll (t=%g, r=%g, d=1/%d, %d states)\n\n", tb, rb, int(1/d), m.N())
+	fmt.Fprintf(w, "  workers=1:  %v\n", seqTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "  workers=%d:  %v\n", eff, parTime.Round(time.Millisecond))
+	if parTime > 0 {
+		fmt.Fprintf(w, "  speedup:    %.2fx on %d CPU(s)\n", float64(seqTime)/float64(parTime), runtime.NumCPU())
+	}
+	fmt.Fprintf(w, "  max |Δ|:    %.3g\n\n", maxDiff)
 	return nil
 }
 

@@ -72,8 +72,12 @@ type Options struct {
 	// ErlangK is the phase count for AlgErlang.
 	ErlangK int
 	// DiscretiseStep is the step d for AlgDiscretise; 0 derives a step
-	// from the model's maximal exit rate (d = 1/(32·max E)).
+	// from the bounds t, r and the model's maximal exit rate (see
+	// deriveStep).
 	DiscretiseStep float64
+	// Workers bounds the parallelism of the numerical procedures:
+	// 0 = runtime.NumCPU(), 1 = the exact sequential legacy path.
+	Workers int
 	// Solve configures the linear solver for unbounded until and
 	// steady-state computations.
 	Solve numeric.SolveOptions
@@ -98,6 +102,11 @@ var ErrUnsupported = errors.New("core: no computational procedure for this formu
 type Checker struct {
 	m    *mrm.MRM
 	opts Options
+	// memo caches Theorem 1 reductions, uniformised matrices and
+	// Fox–Glynn tables across the repeated corner evaluations of
+	// untilRectangle. All memo methods tolerate a nil receiver, so a
+	// zero Checker literal degrades to uncached computation.
+	memo *memo
 }
 
 // New creates a checker for the given model.
@@ -111,7 +120,7 @@ func New(m *mrm.MRM, opts Options) *Checker {
 	if opts.ErlangK <= 0 {
 		opts.ErlangK = 256
 	}
-	return &Checker{m: m, opts: opts}
+	return &Checker{m: m, opts: opts, memo: newMemo()}
 }
 
 // Model returns the checker's model.
@@ -350,7 +359,9 @@ func (c *Checker) probUntil(u logic.Until) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		dual := &Checker{m: d, opts: c.opts}
+		// New (not a struct literal) so the dual checker gets its own
+		// memo — cache entries are keyed to the dual model.
+		dual := New(d, c.opts)
 		return dual.untilTimeInterval(phi, psi, u.Reward)
 	default:
 		if u.Time.StartsAtZero() && u.Reward.StartsAtZero() {
@@ -361,7 +372,14 @@ func (c *Checker) probUntil(u logic.Until) ([]float64, error) {
 }
 
 func (c *Checker) transientOpts() transient.Options {
-	return transient.Options{Epsilon: c.opts.Epsilon}
+	opts := transient.Options{Epsilon: c.opts.Epsilon, Workers: c.opts.Workers}
+	if c.memo != nil {
+		// Guarded: wrapping a nil *memo in the interface would yield a
+		// non-nil transient.Cache whose methods still work (nil-receiver
+		// safe), but an honest nil keeps the intent visible.
+		opts.Cache = c.memo
+	}
+	return opts
 }
 
 // untilUnbounded implements the P0 procedure (Hansson–Jonsson [13]):
@@ -529,7 +547,10 @@ func boolTo01(b bool) float64 {
 // untilTimeReward implements the P3 procedure: the Theorem 1 reduction
 // followed by the configured Section 4 algorithm on the reduced model.
 func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float64, error) {
-	red, err := mrm.ReduceForUntil(c.m, phi, psi)
+	// The memoised reduction makes the corner evaluations of
+	// untilRectangle share one reduced model, which in turn lets the
+	// pointer-keyed uniformised-matrix cache hit across them.
+	red, err := c.memo.Reduction(c.m, phi, psi)
 	if err != nil {
 		return nil, err
 	}
@@ -544,15 +565,28 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 	var values []float64
 	switch alg {
 	case AlgSericola:
-		res, err := sericola.ReachProbAll(red.Model, goal, t, r, sericola.Options{Epsilon: c.opts.Epsilon})
+		var cache sericola.Cache
+		if c.memo != nil {
+			cache = c.memo
+		}
+		res, err := sericola.ReachProbAll(red.Model, goal, t, r, sericola.Options{
+			Epsilon: c.opts.Epsilon,
+			Workers: c.opts.Workers,
+			Cache:   cache,
+		})
 		if err != nil {
 			return nil, err
 		}
 		values = res.Values
 	case AlgErlang:
+		// The Erlang expansion is a fresh model per call, so the
+		// pointer-keyed matrix cache could never hit — strip it to keep
+		// the memo from accumulating dead entries.
+		topts := c.transientOpts()
+		topts.Cache = nil
 		values, err = erlang.ReachProbAll(red.Model, goal, t, r, erlang.Options{
 			K:         c.opts.ErlangK,
-			Transient: c.transientOpts(),
+			Transient: topts,
 		})
 		if err != nil {
 			return nil, err
@@ -560,9 +594,15 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 	case AlgDiscretise:
 		d := c.opts.DiscretiseStep
 		if d == 0 {
-			d = c.deriveStep(red.Model, t, r)
+			d, err = deriveStep(red.Model, t, r)
+			if err != nil {
+				return nil, err
+			}
 		}
-		values, err = discretise.ReachProbAll(red.Model, goal, t, r, discretise.Options{D: d})
+		values, err = discretise.ReachProbAll(red.Model, goal, t, r, discretise.Options{
+			D:       d,
+			Workers: c.opts.Workers,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -576,10 +616,28 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 	return out, nil
 }
 
-// deriveStep picks a discretisation step: a power-of-two fraction below
-// 1/(8·max E) that divides both t and r as exactly as floating point
-// allows.
-func (c *Checker) deriveStep(m *mrm.MRM, t, r float64) float64 {
+// stepIntTol is the relative tolerance under which a quotient counts as an
+// integer when deriving a discretisation step. It matches the intTol the
+// discretise package applies to t/d and r/d.
+const stepIntTol = 1e-9
+
+// maxStepDenominator bounds the denominator search in deriveStep. The cap
+// keeps near-integer rational approximations of irrational ratios (e.g.
+// continued-fraction convergents of √2) from slipping under the tolerance
+// and silently deriving an absurdly fine grid.
+const maxStepDenominator = 4096
+
+// deriveStep picks a discretisation step d that divides both bounds: the
+// coarsest d = t/a (a ≤ maxStepDenominator) with r/d within stepIntTol of
+// an integer, halved until it clears the stability ceiling 1/(8·max E).
+// Halving preserves divisibility exactly, and the relative tolerance keeps
+// the integrality check meaningful as the quotients grow. When no such
+// step exists — the bounds are not commensurable, e.g. r/t irrational —
+// an explicit error tells the caller to set Options.DiscretiseStep.
+func deriveStep(m *mrm.MRM, t, r float64) (float64, error) {
+	if t <= 0 || r <= 0 {
+		return 0, fmt.Errorf("core: derive step: bounds t=%v r=%v must be positive", t, r)
+	}
 	var maxE float64
 	for s := 0; s < m.N(); s++ {
 		if e := m.ExitRate(s); e > maxE {
@@ -589,9 +647,23 @@ func (c *Checker) deriveStep(m *mrm.MRM, t, r float64) float64 {
 	if maxE == 0 {
 		maxE = 1
 	}
-	d := 1.0
-	for d > 1/(8*maxE) {
-		d /= 2
+	ceiling := 1 / (8 * maxE)
+	ratio := r / t
+	for a := 1; a <= maxStepDenominator; a++ {
+		q := float64(a) * ratio
+		if q < 0.5 {
+			// r/d would round to 0: the grid cannot resolve the reward
+			// bound yet, keep refining.
+			continue
+		}
+		if math.Abs(q-math.Round(q)) > stepIntTol*(1+q) {
+			continue
+		}
+		d := t / float64(a)
+		for d > ceiling {
+			d /= 2
+		}
+		return d, nil
 	}
-	return d
+	return 0, fmt.Errorf("core: no discretisation step divides both t=%v and r=%v (denominators up to %d tried); set Options.DiscretiseStep explicitly", t, r, maxStepDenominator)
 }

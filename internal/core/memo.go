@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// memoCap bounds each memo table. The working set of a formula evaluation
+// is tiny (a handful of (λ,t,ε) combinations from the corner evaluations
+// of untilRectangle), so when a table overflows the cap it is simply
+// cleared rather than tracked with an eviction order.
+const memoCap = 64
+
+type uniKey struct {
+	m      *mrm.MRM
+	lambda float64
+}
+
+type poissonKey struct {
+	q, eps float64
+}
+
+// memo is a goroutine-safe cache for the intermediates shared between the
+// repeated untilTimeReward corner evaluations of untilRectangle: Theorem 1
+// reductions (keyed by the satisfaction sets), uniformised DTMC matrices
+// (keyed by model identity and rate) and Fox–Glynn weight tables (keyed by
+// Poisson parameter and accuracy). All methods are nil-receiver-safe: a
+// nil *memo computes without caching, so a zero Checker literal still
+// works. Memory visibility: every read and write of the maps happens
+// under mu, so a value stored by one goroutine is safely published to any
+// other goroutine that later looks it up.
+//
+// The concrete type satisfies both transient.Cache and sericola.Cache.
+type memo struct {
+	mu          sync.Mutex
+	reductions  map[string]*mrm.UntilReduction
+	uniformised map[uniKey]*sparse.CSR
+	poisson     map[poissonKey]*numeric.PoissonWeights
+}
+
+func newMemo() *memo {
+	return &memo{
+		reductions:  make(map[string]*mrm.UntilReduction),
+		uniformised: make(map[uniKey]*sparse.CSR),
+		poisson:     make(map[poissonKey]*numeric.PoissonWeights),
+	}
+}
+
+// Reduction returns the Theorem 1 reduction for (phi, psi) over m,
+// computing it on a miss. The cached UntilReduction is shared between
+// callers; it is immutable by convention.
+func (c *memo) Reduction(m *mrm.MRM, phi, psi *mrm.StateSet) (*mrm.UntilReduction, error) {
+	if c == nil {
+		return mrm.ReduceForUntil(m, phi, psi)
+	}
+	key := phi.Key() + "|" + psi.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if red, ok := c.reductions[key]; ok {
+		return red, nil
+	}
+	red, err := mrm.ReduceForUntil(m, phi, psi)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.reductions) >= memoCap {
+		c.reductions = make(map[string]*mrm.UntilReduction)
+	}
+	c.reductions[key] = red
+	return red, nil
+}
+
+// Uniformised implements transient.Cache and sericola.Cache.
+func (c *memo) Uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error) {
+	if c == nil {
+		return m.Uniformised(lambda)
+	}
+	key := uniKey{m: m, lambda: lambda}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.uniformised[key]; ok {
+		return p, nil
+	}
+	p, err := m.Uniformised(lambda)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.uniformised) >= memoCap {
+		c.uniformised = make(map[uniKey]*sparse.CSR)
+	}
+	c.uniformised[key] = p
+	return p, nil
+}
+
+// Poisson implements transient.Cache and sericola.Cache.
+func (c *memo) Poisson(q, eps float64) (*numeric.PoissonWeights, error) {
+	if c == nil {
+		return numeric.FoxGlynn(q, eps)
+	}
+	key := poissonKey{q: q, eps: eps}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.poisson[key]; ok {
+		return w, nil
+	}
+	w, err := numeric.FoxGlynn(q, eps)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.poisson) >= memoCap {
+		c.poisson = make(map[poissonKey]*numeric.PoissonWeights)
+	}
+	c.poisson[key] = w
+	return w, nil
+}

@@ -100,7 +100,11 @@ type Options struct {
 	// K is the number of Erlang phases (§4.2: "an appropriate value for k
 	// is not known a priori"; Table 3 sweeps it).
 	K int
-	// Transient configures the inner uniformisation.
+	// Transient configures the inner uniformisation; its Workers field
+	// also sets the parallelism of this procedure (the expanded |S|·k+1
+	// model makes the uniformisation sweeps the entire cost). Leave its
+	// Cache nil: the expansion is a fresh model per call, so a
+	// pointer-keyed matrix cache can never hit.
 	Transient transient.Options
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/transient"
 )
 
 func singleJump(t *testing.T, mu float64) *mrm.MRM {
@@ -137,5 +138,37 @@ func TestDefaultKApplied(t *testing.T) {
 	m := singleJump(t, 1)
 	if _, err := ReachProbAll(m, m.Label("goal"), 1, 1, Options{}); err != nil {
 		t.Fatalf("zero-value options must work: %v", err)
+	}
+}
+
+func TestReachProbAllParallelEquivalence(t *testing.T) {
+	// The k=64 expansion of even a 3-state model exceeds the sparse
+	// kernels' grain, so the parallel path is genuinely exercised.
+	b := mrm.NewBuilder(3)
+	b.Rate(0, 1, 2).Rate(1, 2, 3).Rate(1, 0, 1)
+	b.Reward(0, 1).Reward(1, 2)
+	b.Label(2, "goal")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	goal := m.Label("goal")
+	seqOpts := Options{K: 64, Transient: transient.Options{Epsilon: 1e-12, Workers: 1}}
+	seq, err := ReachProbAll(m, goal, 1.0, 1.5, seqOpts)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, workers := range []int{0, 2, 4} {
+		parOpts := Options{K: 64, Transient: transient.Options{Epsilon: 1e-12, Workers: workers}}
+		par, err := ReachProbAll(m, goal, 1.0, 1.5, parOpts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for s := range par {
+			// The backward sweep is row-partitioned and bitwise-stable.
+			if par[s] != seq[s] {
+				t.Fatalf("workers=%d: state %d: %g != sequential %g", workers, s, par[s], seq[s])
+			}
+		}
 	}
 }

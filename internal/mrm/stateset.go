@@ -161,6 +161,25 @@ func (s *StateSet) Indicator() []float64 {
 	return v
 }
 
+// Key returns a compact string that identifies the set contents and
+// universe exactly — two sets have equal keys iff Equal reports true.
+// It is intended as a map key for memoisation.
+func (s *StateSet) Key() string {
+	buf := make([]byte, 0, 8*(len(s.bits)+1))
+	buf = appendUint64(buf, uint64(s.n))
+	for _, w := range s.bits {
+		buf = appendUint64(buf, w)
+	}
+	return string(buf)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
 // String renders the set as {i, j, …}.
 func (s *StateSet) String() string {
 	var b strings.Builder

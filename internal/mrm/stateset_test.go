@@ -128,3 +128,23 @@ func TestUniverseMismatchPanics(t *testing.T) {
 	}()
 	NewStateSet(3).Union(NewStateSet(4))
 }
+
+func TestStateSetKey(t *testing.T) {
+	a := NewStateSetOf(100, 1, 63, 64, 99)
+	b := NewStateSetOf(100, 1, 63, 64, 99)
+	if a.Key() != b.Key() {
+		t.Error("equal sets must have equal keys")
+	}
+	c := NewStateSetOf(100, 1, 63, 64)
+	if a.Key() == c.Key() {
+		t.Error("different sets must have different keys")
+	}
+	// Same members, different universe: keys must differ.
+	d := NewStateSetOf(101, 1, 63, 64, 99)
+	if a.Key() == d.Key() {
+		t.Error("different universes must have different keys")
+	}
+	if NewStateSet(0).Key() == NewStateSet(64).Key() {
+		t.Error("empty sets over different universes must differ")
+	}
+}

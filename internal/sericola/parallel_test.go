@@ -1,0 +1,78 @@
+package sericola
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/performability/csrl/internal/mrm"
+)
+
+// gridModel builds an n-state chain with three distinct rewards, large
+// enough (n² ≥ runGrain) that the per-level row sweeps actually fan out.
+func gridModel(t *testing.T, n int) *mrm.MRM {
+	t.Helper()
+	b := mrm.NewBuilder(n)
+	for s := 0; s < n; s++ {
+		b.Rate(s, (s+1)%n, 2.0+0.01*float64(s%7))
+		b.Rate(s, (s+n-1)%n, 0.5)
+		b.Reward(s, float64(s%3)) // rewards {0, 1, 2}
+		if s%4 == 0 {
+			b.Label(s, "goal")
+		}
+	}
+	b.InitialState(0)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return m
+}
+
+func TestReachProbAllParallelEquivalence(t *testing.T) {
+	m := gridModel(t, 60)
+	goal := m.Label("goal")
+	const tb, rb = 0.8, 0.9 // binds: max accumulable reward is 2·tb
+	seq, err := ReachProbAll(m, goal, tb, rb, Options{Epsilon: 1e-9, Workers: 1})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, workers := range []int{0, 2, 3, runtime.NumCPU()} {
+		par, err := ReachProbAll(m, goal, tb, rb, Options{Epsilon: 1e-9, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.N != seq.N {
+			t.Fatalf("workers=%d: N=%d, sequential N=%d", workers, par.N, seq.N)
+		}
+		for s := range par.Values {
+			// Row-partitioned sweeps preserve sequential per-row arithmetic
+			// order, so the parallel result must be bitwise identical.
+			if par.Values[s] != seq.Values[s] {
+				t.Fatalf("workers=%d: state %d: %g != sequential %g",
+					workers, s, par.Values[s], seq.Values[s])
+			}
+		}
+	}
+}
+
+func TestReachProbAllParallelVacuousBound(t *testing.T) {
+	// Vacuous reward bound exercises the transientGoal fallback's parallel
+	// kernels instead of the recursion.
+	m := gridModel(t, 60)
+	goal := m.Label("goal")
+	const tb = 0.8
+	rb := 2*tb + 1 // exceeds max accumulable reward
+	seq, err := ReachProbAll(m, goal, tb, rb, Options{Epsilon: 1e-9, Workers: 1})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := ReachProbAll(m, goal, tb, rb, Options{Epsilon: 1e-9, Workers: 0})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	for s := range par.Values {
+		if par.Values[s] != seq.Values[s] {
+			t.Fatalf("state %d: %g != sequential %g", s, par.Values[s], seq.Values[s])
+		}
+	}
+}

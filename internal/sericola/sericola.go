@@ -22,8 +22,17 @@ import (
 
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/parallel"
 	"github.com/performability/csrl/internal/sparse"
 )
+
+// Cache memoises uniformised matrices and Fox–Glynn tables across calls.
+// It mirrors transient.Cache structurally, so one concrete implementation
+// (internal/core's memo) satisfies both. Nil disables memoisation.
+type Cache interface {
+	Uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error)
+	Poisson(q, eps float64) (*numeric.PoissonWeights, error)
+}
 
 // Options configures the computation.
 type Options struct {
@@ -31,6 +40,15 @@ type Options struct {
 	Epsilon float64
 	// Lambda overrides the uniformisation rate (0 = automatic).
 	Lambda float64
+	// Workers bounds the parallelism of the per-level row sweeps:
+	// 0 = runtime.NumCPU(), 1 = the exact sequential legacy path. The
+	// recursion is partitioned by matrix row, and every row's arithmetic
+	// runs in the sequential order, so results are bitwise independent of
+	// Workers.
+	Workers int
+	// Cache, when non-nil, memoises the uniformised matrix and the
+	// Poisson weight table.
+	Cache Cache
 }
 
 // DefaultOptions matches the most accurate row of Table 2.
@@ -93,7 +111,7 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 		// rShift check above) or the bound exceeds the maximal accumulable
 		// reward: the reward constraint is vacuous and a plain transient
 		// analysis suffices.
-		vals, err := transientGoal(m, goal, t, lambda, opts.Epsilon)
+		vals, err := transientGoal(m, goal, t, lambda, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +130,12 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 		return nil, fmt.Errorf("sericola: %w", err)
 	}
 
-	p, err := m.Uniformised(lambda)
+	var p *sparse.CSR
+	if opts.Cache != nil {
+		p, err = opts.Cache.Uniformised(m, lambda)
+	} else {
+		p, err = m.Uniformised(lambda)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sericola: %w", err)
 	}
@@ -132,7 +155,7 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 	}
 	lf := numeric.LogFactorials(nSteps)
 
-	hMat, tMat := run(p, rho, shifted, h, x, poisPMF, lf, nSteps)
+	hMat, tMat := run(p, rho, shifted, h, x, poisPMF, lf, nSteps, opts.Workers)
 
 	res := &Result{Values: make([]float64, n), N: nSteps}
 	goalIdx := goal.Slice()
@@ -164,12 +187,31 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (floa
 	return v, res.N, nil
 }
 
+// runGrain is the minimum matrix size n² before the per-level row sweeps
+// fan out across workers.
+const runGrain = 2048
+
 // run executes the C(h,n,k) recursion and returns (H, Pois-weighted
 // transient matrix), both flattened row-major n×n. poisPMF and lf are the
 // precomputed Poisson pmf and log-factorial tables covering 0..nSteps.
-func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF func(int) float64, lf []float64, nSteps int) (hMat, tMat []float64) {
+//
+// Concurrency: the whole per-level computation is row-independent. For a
+// fixed row i, the PC products and the Pⁿ update read only the previous
+// level's matrices (immutable within the level), and the up/down sweeps
+// read only entries of row i: the up-sweep base C(h,n,0) = C(h−1,n,n)
+// stays in row i, and up(h,i) ⇒ up(h−1,i) guarantees that same-row value
+// was produced by this row's own band-(h−1) sweep; dually for the
+// down-sweep base via ¬up(h,i) ⇒ ¬up(h+1,i). The accumulation into
+// hMat/tMat is row-local too, so each level needs exactly one parallel
+// region over contiguous row ranges, with every row computed in the
+// sequential order — results are bitwise identical for every workers
+// value.
+func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF func(int) float64, lf []float64, nSteps, workers int) (hMat, tMat []float64) {
 	n := p.Dim()
 	mBands := len(bands) - 1
+	if n*n < runGrain {
+		workers = 1
+	}
 
 	// Row classification per band: up(h, i) ⇔ ρ_i ≥ ρ_h. Because bands are
 	// consecutive distinct rewards, ¬up(h,i) ⇔ ρ_i ≤ ρ_{h−1}.
@@ -252,7 +294,8 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 	}
 
 	for level := 1; level <= nSteps; level++ {
-		// PC[h][k] = P·C(h, level−1, k).
+		// Bank bookkeeping stays sequential: swap the matrix banks and make
+		// sure every buffer the parallel region will write exists.
 		for h := 1; h <= mBands; h++ {
 			prev[h], spare[h] = cur[h], prev[h]
 			if pc[h] == nil {
@@ -261,10 +304,6 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 			for k := 0; k < level; k++ {
 				if pc[h][k] == nil {
 					pc[h][k] = newMat()
-				}
-				dst, src := pc[h][k], prev[h][k]
-				for i := 0; i < n; i++ {
-					mulRow(dst, src, i)
 				}
 			}
 			// Recycle the level-2 bank; every entry is fully overwritten
@@ -283,84 +322,125 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 			}
 			cur[h] = bank
 		}
-		// Pⁿ.
-		for i := 0; i < n; i++ {
-			mulRow(pnNext, pn, i)
-		}
-		pn, pnNext = pnNext, pn
 
-		// Up-row sweep: increasing h, increasing k.
-		for h := 1; h <= mBands; h++ {
-			dh := bands[h] - bands[h-1]
-			for i := 0; i < n; i++ {
-				if !up[h][i] {
-					continue
+		// One parallel region per level: each worker owns a contiguous row
+		// range and runs the full per-row pipeline — PC products, the Pⁿ
+		// update (into pnNext, which holds P^level until the swap below),
+		// the up/down sweeps and the accumulation — in sequential order.
+		w := poisPMF(level)
+		parallel.For(workers, n, func(lo, hi int) {
+			// PC[h][k] = P·C(h, level−1, k) and Pⁿ, rows lo..hi−1.
+			for i := lo; i < hi; i++ {
+				for h := 1; h <= mBands; h++ {
+					for k := 0; k < level; k++ {
+						mulRow(pc[h][k], prev[h][k], i)
+					}
 				}
-				row := i * n
-				// Base k = 0.
-				var baseRow []float64
-				if h == 1 {
-					baseRow = pn
-				} else {
-					baseRow = cur[h-1][level]
-				}
-				copy(cur[h][0][row:row+n], baseRow[row:row+n])
-				// k = 1..level.
-				a := (rho[i] - bands[h]) / (rho[i] - bands[h-1])
-				b := dh / (rho[i] - bands[h-1])
-				for k := 1; k <= level; k++ {
-					dst := cur[h][k]
-					prevK := cur[h][k-1]
-					pck := pc[h][k-1]
-					for j := 0; j < n; j++ {
-						dst[row+j] = a*prevK[row+j] + b*pck[row+j]
+				mulRow(pnNext, pn, i)
+			}
+			// Up-row sweep: increasing h, increasing k.
+			for h := 1; h <= mBands; h++ {
+				dh := bands[h] - bands[h-1]
+				for i := lo; i < hi; i++ {
+					if !up[h][i] {
+						continue
+					}
+					row := i * n
+					// Base k = 0.
+					var baseRow []float64
+					if h == 1 {
+						baseRow = pnNext
+					} else {
+						baseRow = cur[h-1][level]
+					}
+					copy(cur[h][0][row:row+n], baseRow[row:row+n])
+					// k = 1..level.
+					a := (rho[i] - bands[h]) / (rho[i] - bands[h-1])
+					b := dh / (rho[i] - bands[h-1])
+					for k := 1; k <= level; k++ {
+						dst := cur[h][k]
+						prevK := cur[h][k-1]
+						pck := pc[h][k-1]
+						for j := 0; j < n; j++ {
+							dst[row+j] = a*prevK[row+j] + b*pck[row+j]
+						}
 					}
 				}
 			}
-		}
-		// Down-row sweep: decreasing h, decreasing k.
-		for h := mBands; h >= 1; h-- {
-			dh := bands[h] - bands[h-1]
-			for i := 0; i < n; i++ {
-				if up[h][i] {
-					continue
-				}
-				row := i * n
-				// Base k = level: C(h,n,n) = C(h+1,n,0), or 0 in the top
-				// band (explicitly cleared — the buffers are recycled).
-				if h < mBands {
-					copy(cur[h][level][row:row+n], cur[h+1][0][row:row+n])
-				} else {
-					base := cur[h][level]
-					for j := 0; j < n; j++ {
-						base[row+j] = 0
+			// Down-row sweep: decreasing h, decreasing k.
+			for h := mBands; h >= 1; h-- {
+				dh := bands[h] - bands[h-1]
+				for i := lo; i < hi; i++ {
+					if up[h][i] {
+						continue
 					}
-				}
-				a := (bands[h-1] - rho[i]) / (bands[h] - rho[i])
-				b := dh / (bands[h] - rho[i])
-				for k := level - 1; k >= 0; k-- {
-					dst := cur[h][k]
-					nextK := cur[h][k+1]
-					pck := pc[h][k]
-					for j := 0; j < n; j++ {
-						dst[row+j] = a*nextK[row+j] + b*pck[row+j]
+					row := i * n
+					// Base k = level: C(h,n,n) = C(h+1,n,0), or 0 in the top
+					// band (explicitly cleared — the buffers are recycled).
+					if h < mBands {
+						copy(cur[h][level][row:row+n], cur[h+1][0][row:row+n])
+					} else {
+						base := cur[h][level]
+						for j := 0; j < n; j++ {
+							base[row+j] = 0
+						}
+					}
+					a := (bands[h-1] - rho[i]) / (bands[h] - rho[i])
+					b := dh / (bands[h] - rho[i])
+					for k := level - 1; k >= 0; k-- {
+						dst := cur[h][k]
+						nextK := cur[h][k+1]
+						pck := pc[h][k]
+						for j := 0; j < n; j++ {
+							dst[row+j] = a*nextK[row+j] + b*pck[row+j]
+						}
 					}
 				}
 			}
-		}
-		accumulate(level)
+			// Accumulate rows lo..hi−1 into tMat/hMat (row-local writes).
+			if w == 0 {
+				return
+			}
+			for idx := lo * n; idx < hi*n; idx++ {
+				tMat[idx] += w * pnNext[idx]
+			}
+			ck := cur[hTarget]
+			for k := 0; k <= level; k++ {
+				bw := binomPMF(level, k)
+				if bw == 0 {
+					continue
+				}
+				c := ck[k]
+				f := w * bw
+				for idx := lo * n; idx < hi*n; idx++ {
+					hMat[idx] += f * c[idx]
+				}
+			}
+		})
+		pn, pnNext = pnNext, pn
 	}
 	return hMat, tMat
 }
 
 // transientGoal returns Σ_{j∈goal} Pr_i{X_t = j} for all i by backward
 // uniformisation — the degenerate case where the reward bound is vacuous.
-func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda, eps float64) ([]float64, error) {
-	p, err := m.Uniformised(lambda)
+func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda float64, opts Options) ([]float64, error) {
+	var p *sparse.CSR
+	var err error
+	if opts.Cache != nil {
+		p, err = opts.Cache.Uniformised(m, lambda)
+	} else {
+		p, err = m.Uniformised(lambda)
+	}
 	if err != nil {
 		return nil, err
 	}
-	w, err := numeric.FoxGlynn(lambda*t, eps)
+	var w *numeric.PoissonWeights
+	if opts.Cache != nil {
+		w, err = opts.Cache.Poisson(lambda*t, opts.Epsilon)
+	} else {
+		w, err = numeric.FoxGlynn(lambda*t, opts.Epsilon)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -373,7 +453,7 @@ func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda, eps float64) ([]fl
 			sparse.AXPY(w.Weight(step), cur, acc)
 		}
 		if step < w.Right {
-			p.MulVec(next, cur)
+			p.MulVecPar(next, cur, opts.Workers)
 			cur, next = next, cur
 		}
 	}

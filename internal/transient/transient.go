@@ -15,6 +15,19 @@ import (
 	"github.com/performability/csrl/internal/sparse"
 )
 
+// Cache memoises the model-independent intermediates of uniformisation.
+// Implementations must be safe for concurrent use; a nil Cache (or a nil
+// concrete value behind the interface) disables memoisation. The concrete
+// implementation lives in internal/core so this package stays leaf-level.
+type Cache interface {
+	// Uniformised returns the uniformised DTMC matrix of m at rate lambda,
+	// computing and retaining it on first use.
+	Uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error)
+	// Poisson returns the Fox–Glynn weight table for Poisson parameter q
+	// and truncation budget eps, computing and retaining it on first use.
+	Poisson(q, eps float64) (*numeric.PoissonWeights, error)
+}
+
 // Options controls uniformisation.
 type Options struct {
 	// Epsilon is the truncation error budget for the Poisson series.
@@ -22,6 +35,12 @@ type Options struct {
 	// Lambda overrides the uniformisation rate; 0 selects
 	// MRM.UniformisationRate automatically.
 	Lambda float64
+	// Workers bounds the parallelism of the matrix–vector sweeps:
+	// 0 = runtime.NumCPU(), 1 = the exact sequential legacy path.
+	Workers int
+	// Cache, when non-nil, memoises uniformised matrices and Fox–Glynn
+	// weight tables across calls.
+	Cache Cache
 }
 
 // DefaultOptions returns the accuracy used throughout the test-suite.
@@ -32,6 +51,24 @@ func (o Options) normalise() Options {
 		o.Epsilon = 1e-12
 	}
 	return o
+}
+
+// uniformised returns the uniformised DTMC matrix, consulting the cache
+// when one is configured.
+func (o Options) uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error) {
+	if o.Cache != nil {
+		return o.Cache.Uniformised(m, lambda)
+	}
+	return m.Uniformised(lambda)
+}
+
+// poissonWeights returns the Fox–Glynn table, consulting the cache when
+// one is configured.
+func (o Options) poissonWeights(q float64) (*numeric.PoissonWeights, error) {
+	if o.Cache != nil {
+		return o.Cache.Poisson(q, o.Epsilon)
+	}
+	return numeric.FoxGlynn(q, o.Epsilon)
 }
 
 // Distribution returns the transient state distribution π(t) of the model's
@@ -56,11 +93,11 @@ func DistributionFrom(m *mrm.MRM, init []float64, t float64, opts Options) ([]fl
 	if lambda == 0 {
 		lambda = m.UniformisationRate()
 	}
-	p, err := m.Uniformised(lambda)
+	p, err := opts.uniformised(m, lambda)
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	w, err := numeric.FoxGlynn(lambda*t, opts.Epsilon)
+	w, err := opts.poissonWeights(lambda * t)
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
@@ -72,7 +109,7 @@ func DistributionFrom(m *mrm.MRM, init []float64, t float64, opts Options) ([]fl
 			sparse.AXPY(w.Weight(n), cur, acc)
 		}
 		if n < w.Right {
-			p.MulVecT(next, cur) // row vector: next = cur·P
+			p.MulVecTPar(next, cur, opts.Workers) // row vector: next = cur·P
 			cur, next = next, cur
 		}
 	}
@@ -110,11 +147,11 @@ func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float
 	if lambda == 0 {
 		lambda = m.UniformisationRate()
 	}
-	p, err := m.Uniformised(lambda)
+	p, err := opts.uniformised(m, lambda)
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	w, err := numeric.FoxGlynn(lambda*t, opts.Epsilon)
+	w, err := opts.poissonWeights(lambda * t)
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
@@ -126,7 +163,7 @@ func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float
 			sparse.AXPY(w.Weight(n), cur, acc)
 		}
 		if n < w.Right {
-			p.MulVec(next, cur) // column vector: next = P·cur
+			p.MulVecPar(next, cur, opts.Workers) // column vector: next = P·cur
 			cur, next = next, cur
 		}
 	}
