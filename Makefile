@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke fmt vet
+.PHONY: all build test race lint lint-github lint-consistency bench-smoke fmt vet
 
 all: build lint test
 
@@ -17,6 +17,15 @@ race:
 
 lint:
 	$(GO) run ./cmd/mrmlint ./...
+
+lint-github:
+	$(GO) run ./cmd/mrmlint -github ./...
+
+# go vet's copylocks and mrmlint's mutexcopy approximate the same property
+# from different directions; CI requires both to agree the tree is clean.
+lint-consistency:
+	$(GO) vet -copylocks ./...
+	$(GO) run ./cmd/mrmlint -enable=mutexcopy ./...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .

@@ -13,12 +13,14 @@ package csrl_test
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"testing"
 
 	"github.com/performability/csrl/internal/adhoc"
 	"github.com/performability/csrl/internal/core"
 	"github.com/performability/csrl/internal/discretise"
 	"github.com/performability/csrl/internal/erlang"
+	"github.com/performability/csrl/internal/lint"
 	"github.com/performability/csrl/internal/logic"
 	"github.com/performability/csrl/internal/lump"
 	"github.com/performability/csrl/internal/mrm"
@@ -442,4 +444,32 @@ func BenchmarkAblationLumping(b *testing.B) {
 			_ = res.Lift(vals)
 		}
 	})
+}
+
+// BenchmarkLintModule times the mrmlint analyzer suite over a slice of the
+// module's own packages. All registered analyzers share one inspector
+// traversal per package, so this tracks the marginal cost of new analyzers
+// staying well below the cost of another full AST walk each.
+func BenchmarkLintModule(b *testing.B) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pkgs []*lint.Package
+	for _, rel := range []string{"internal/sparse", "internal/numeric", "internal/core"} {
+		pkg, err := loader.LoadDir(filepath.Join(loader.ModuleDir, rel))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	runner := lint.NewRunner(lint.All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pkg := range pkgs {
+			if _, err := runner.RunPackage(pkg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }

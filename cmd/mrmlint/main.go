@@ -6,6 +6,8 @@
 //	mrmlint ./...                     # whole module
 //	mrmlint -disable=bannedcall ./internal/...
 //	mrmlint -enable=floatcmp,aliasret ./internal/sparse
+//	mrmlint -json ./...               # one JSON object per finding
+//	mrmlint -github ./...             # GitHub Actions ::error annotations
 //	mrmlint -list                     # describe the analyzers
 //
 // Findings are suppressed case by case with a comment on (or directly
@@ -15,10 +17,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -33,15 +37,21 @@ func run(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("mrmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list    = fs.Bool("list", false, "list the analyzers and exit")
-		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		enable   = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated analyzers to skip")
+		jsonMode = fs.Bool("json", false, "emit one JSON object per finding (module-relative paths)")
+		ghMode   = fs.Bool("github", false, "emit GitHub Actions ::error annotations")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: mrmlint [-list] [-enable=a,b] [-disable=a,b] [packages]")
+		fmt.Fprintln(stderr, "usage: mrmlint [-list] [-enable=a,b] [-disable=a,b] [-json|-github] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonMode && *ghMode {
+		fmt.Fprintln(stderr, "mrmlint: -json and -github are mutually exclusive")
 		return 2
 	}
 	if *list {
@@ -64,7 +74,14 @@ func run(stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintln(stderr, "mrmlint:", err)
 		return 2
 	}
-	n, err := lintPackages(stdout, cwd, patterns, analyzers)
+	mode := emitPlain
+	switch {
+	case *jsonMode:
+		mode = emitJSON
+	case *ghMode:
+		mode = emitGitHub
+	}
+	n, err := lintPackages(stdout, cwd, patterns, analyzers, mode)
 	if err != nil {
 		fmt.Fprintln(stderr, "mrmlint:", err)
 		return 2
@@ -76,9 +93,83 @@ func run(stdout, stderr io.Writer, args []string) int {
 	return 0
 }
 
+// emitMode renders one diagnostic to the output stream. moduleDir is the
+// absolute module root, for modes that want portable relative paths.
+type emitMode func(w io.Writer, moduleDir string, d lint.Diagnostic)
+
+func emitPlain(w io.Writer, _ string, d lint.Diagnostic) {
+	fmt.Fprintln(w, d)
+}
+
+// jsonDiagnostic is the stable machine-readable shape: one object per
+// line, file paths module-relative with forward slashes.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	EndLine  int    `json:"endLine,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emitJSON(w io.Writer, moduleDir string, d lint.Diagnostic) {
+	jd := jsonDiagnostic{
+		File:     moduleRelative(moduleDir, d.Pos.Filename),
+		Line:     d.Pos.Line,
+		Column:   d.Pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+	if d.End.Line > d.Pos.Line && d.End.Filename == d.Pos.Filename {
+		jd.EndLine = d.End.Line
+	}
+	out, err := json.Marshal(jd)
+	if err != nil {
+		// A Diagnostic is strings and ints; Marshal cannot fail on it.
+		panic(err)
+	}
+	fmt.Fprintf(w, "%s\n", out)
+}
+
+func emitGitHub(w io.Writer, moduleDir string, d lint.Diagnostic) {
+	endLine := d.Pos.Line
+	if d.End.Line > endLine && d.End.Filename == d.Pos.Filename {
+		endLine = d.End.Line
+	}
+	fmt.Fprintf(w, "::error file=%s,line=%d,endLine=%d,col=%d,title=%s::%s\n",
+		ghEscapeProperty(moduleRelative(moduleDir, d.Pos.Filename)),
+		d.Pos.Line, endLine, d.Pos.Column,
+		ghEscapeProperty("mrmlint("+d.Analyzer+")"),
+		ghEscapeData(d.Message))
+}
+
+// moduleRelative renders an absolute filename relative to the module root
+// with forward slashes, falling back to the absolute path outside it.
+func moduleRelative(moduleDir, filename string) string {
+	rel, err := filepath.Rel(moduleDir, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// ghEscapeData escapes a workflow-command message per the GitHub Actions
+// runner rules.
+func ghEscapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// ghEscapeProperty escapes a workflow-command property value; properties
+// additionally reserve ':' and ','.
+func ghEscapeProperty(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
+}
+
 // lintPackages loads every package matched by patterns (relative to dir)
 // and returns the number of findings printed.
-func lintPackages(stdout io.Writer, dir string, patterns []string, analyzers []*lint.Analyzer) (int, error) {
+func lintPackages(stdout io.Writer, dir string, patterns []string, analyzers []*lint.Analyzer, emit emitMode) (int, error) {
 	loader, err := lint.NewLoader(dir)
 	if err != nil {
 		return 0, err
@@ -102,7 +193,7 @@ func lintPackages(stdout io.Writer, dir string, patterns []string, analyzers []*
 			return 0, err
 		}
 		for _, diag := range diags {
-			fmt.Fprintln(stdout, diag)
+			emit(stdout, loader.ModuleDir, diag)
 		}
 		total += len(diags)
 	}

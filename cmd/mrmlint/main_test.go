@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"strings"
 	"testing"
@@ -83,7 +84,7 @@ func TestModuleIsClean(t *testing.T) {
 		t.Fatalf("loader: %v", err)
 	}
 	var out bytes.Buffer
-	n, err := lintPackages(&out, loader.ModuleDir, []string{"./..."}, lint.All())
+	n, err := lintPackages(&out, loader.ModuleDir, []string{"./..."}, lint.All(), emitPlain)
 	if err != nil {
 		t.Fatalf("lintPackages: %v", err)
 	}
@@ -97,7 +98,70 @@ func TestLintPackagesNoMatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	if _, err := lintPackages(io.Discard, loader.ModuleDir, []string{"./nosuchdir"}, lint.All()); err == nil {
+	if _, err := lintPackages(io.Discard, loader.ModuleDir, []string{"./nosuchdir"}, lint.All(), emitPlain); err == nil {
 		t.Error("nonexistent package pattern did not error")
+	}
+}
+
+func TestRunModeFlagsExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-json", "-github"}); code != 2 {
+		t.Errorf("-json -github exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr %q does not explain the flag conflict", stderr.String())
+	}
+}
+
+func sampleDiagnostic() lint.Diagnostic {
+	d := lint.Diagnostic{Analyzer: "floatcmp", Message: "50% of a == b\nis wrong"}
+	d.Pos.Filename = "/mod/internal/sparse/csr.go"
+	d.Pos.Line = 7
+	d.Pos.Column = 3
+	d.End.Filename = "/mod/internal/sparse/csr.go"
+	d.End.Line = 9
+	return d
+}
+
+func TestEmitJSON(t *testing.T) {
+	var out bytes.Buffer
+	emitJSON(&out, "/mod", sampleDiagnostic())
+	var got struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		EndLine  int    `json:"endLine"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("output %q is not valid JSON: %v", out.String(), err)
+	}
+	if got.File != "internal/sparse/csr.go" {
+		t.Errorf("file %q, want module-relative slash path", got.File)
+	}
+	if got.Line != 7 || got.Column != 3 || got.EndLine != 9 {
+		t.Errorf("position %d:%d end %d, want 7:3 end 9", got.Line, got.Column, got.EndLine)
+	}
+	if got.Analyzer != "floatcmp" || !strings.Contains(got.Message, "50%") {
+		t.Errorf("payload %+v does not round-trip analyzer/message", got)
+	}
+	if strings.Count(out.String(), "\n") != 1 {
+		t.Errorf("output %q is not exactly one line", out.String())
+	}
+}
+
+func TestEmitGitHub(t *testing.T) {
+	var out bytes.Buffer
+	emitGitHub(&out, "/mod", sampleDiagnostic())
+	line := out.String()
+	if !strings.HasPrefix(line, "::error file=internal/sparse/csr.go,line=7,endLine=9,col=3,title=mrmlint(floatcmp)::") {
+		t.Errorf("annotation %q has the wrong command/properties", line)
+	}
+	if !strings.Contains(line, "50%25 of a == b%0Ais wrong") {
+		t.Errorf("annotation %q does not escape %% and newline", line)
+	}
+	if strings.Count(line, "\n") != 1 {
+		t.Errorf("annotation %q is not exactly one line", line)
 	}
 }

@@ -36,9 +36,9 @@ type poissonKey struct {
 // The concrete type satisfies both transient.Cache and sericola.Cache.
 type memo struct {
 	mu          sync.Mutex
-	reductions  map[string]*mrm.UntilReduction
-	uniformised map[uniKey]*sparse.CSR
-	poisson     map[poissonKey]*numeric.PoissonWeights
+	reductions  map[string]*mrm.UntilReduction         // guarded by mu
+	uniformised map[uniKey]*sparse.CSR                 // guarded by mu
+	poisson     map[poissonKey]*numeric.PoissonWeights // guarded by mu
 }
 
 func newMemo() *memo {

@@ -36,28 +36,24 @@ func runAliasret(pass *Pass) error {
 	if !covered {
 		return nil
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !fd.Name.IsExported() {
-				continue
+	pass.Inspect(Mask((*ast.ReturnStmt)(nil)), func(n ast.Node, stack []ast.Node) {
+		ret := n.(*ast.ReturnStmt)
+		// The return belongs to the innermost function on the stack; only
+		// exported declarations (not nested literals) are API surface.
+		var fd *ast.FuncDecl
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch f := stack[i].(type) {
+			case *ast.FuncLit:
+				return
+			case *ast.FuncDecl:
+				fd = f
 			}
-			checkReturns(pass, fd)
+			if fd != nil {
+				break
+			}
 		}
-	}
-	return nil
-}
-
-// checkReturns walks the function body (not nested function literals,
-// whose returns belong to the literal) looking for aliasing returns.
-func checkReturns(pass *Pass, fd *ast.FuncDecl) {
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok {
-			return true
+		if fd == nil || !fd.Name.IsExported() {
+			return
 		}
 		for _, res := range ret.Results {
 			t := pass.TypeOf(res)
@@ -68,12 +64,12 @@ func checkReturns(pass *Pass, fd *ast.FuncDecl) {
 				continue
 			}
 			if base, ok := aliasBase(pass, res); ok {
-				pass.Reportf(res.Pos(), "exported %s returns internal slice %s without copying; aliasing hazard under concurrent use — copy it (sparse.Clone, append)",
+				pass.ReportRangef(res.Pos(), res.End(), "exported %s returns internal slice %s without copying; aliasing hazard under concurrent use — copy it (sparse.Clone, append)",
 					fd.Name.Name, types.ExprString(base))
 			}
 		}
-		return true
 	})
+	return nil
 }
 
 // aliasBase peels slicing/indexing from the returned expression and

@@ -8,6 +8,10 @@ func All() []*Analyzer {
 		Droppederr,
 		Expunderflow,
 		Floatcmp,
+		Goroutinemisuse,
+		Guardedfield,
+		Maporder,
+		Mutexcopy,
 	}
 }
 

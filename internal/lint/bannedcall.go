@@ -29,33 +29,27 @@ const maxPowExponent = 4
 
 func runBannedcall(pass *Pass) error {
 	isLibrary := isInternalPath(pass.PkgPath) && pass.Pkg.Name() != "main"
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+	pass.Preorder(Mask((*ast.CallExpr)(nil)), func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		switch {
+		case isBuiltin(pass.Info, call, "print") || isBuiltin(pass.Info, call, "println"):
+			pass.ReportNodef(call, "builtin %s writes to stderr and survives into release builds; use fmt or a return value",
+				call.Fun.(*ast.Ident).Name)
+		case isLibrary && isBuiltin(pass.Info, call, "panic"):
+			pass.ReportNodef(call, "panic in library package %s; return an error (//lint:ignore bannedcall <reason> for invariant checks)",
+				pass.Pkg.Name())
+		case isLibrary && isPkgFunc(pass.Info, call, "os", "Exit"):
+			pass.ReportNodef(call, "os.Exit in library package %s skips deferred cleanup and robs callers of control; return an error",
+				pass.Pkg.Name())
+		case isLibrary && isFmtPrint(pass, call):
+			pass.ReportNodef(call, "%s writes to stdout from library package %s; printing belongs in cmd/ or examples/",
+				callName(pass, call), pass.Pkg.Name())
+		case isPkgFunc(pass.Info, call, "math", "Pow") && len(call.Args) == 2:
+			if n, ok := exactIntValue(pass.Info, call.Args[1]); ok && n >= -maxPowExponent && n <= maxPowExponent {
+				pass.ReportNodef(call, "math.Pow(x, %d) on a numeric path; multiply out (x*x…) — faster and exact", n)
 			}
-			switch {
-			case isBuiltin(pass.Info, call, "print") || isBuiltin(pass.Info, call, "println"):
-				pass.Reportf(call.Pos(), "builtin %s writes to stderr and survives into release builds; use fmt or a return value",
-					call.Fun.(*ast.Ident).Name)
-			case isLibrary && isBuiltin(pass.Info, call, "panic"):
-				pass.Reportf(call.Pos(), "panic in library package %s; return an error (//lint:ignore bannedcall <reason> for invariant checks)",
-					pass.Pkg.Name())
-			case isLibrary && isPkgFunc(pass.Info, call, "os", "Exit"):
-				pass.Reportf(call.Pos(), "os.Exit in library package %s skips deferred cleanup and robs callers of control; return an error",
-					pass.Pkg.Name())
-			case isLibrary && isFmtPrint(pass, call):
-				pass.Reportf(call.Pos(), "%s writes to stdout from library package %s; printing belongs in cmd/ or examples/",
-					callName(pass, call), pass.Pkg.Name())
-			case isPkgFunc(pass.Info, call, "math", "Pow") && len(call.Args) == 2:
-				if n, ok := exactIntValue(pass.Info, call.Args[1]); ok && n >= -maxPowExponent && n <= maxPowExponent {
-					pass.Reportf(call.Pos(), "math.Pow(x, %d) on a numeric path; multiply out (x*x…) — faster and exact", n)
-				}
-			}
-			return true
-		})
-	}
+		}
+	})
 	return nil
 }
 

@@ -28,33 +28,29 @@ var Droppederr = &Analyzer{
 
 func runDroppederr(pass *Pass) error {
 	deferred := make(map[*ast.CallExpr]bool)
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.DeferStmt:
-				deferred[n.Call] = true
-			case *ast.GoStmt:
-				deferred[n.Call] = true
+	pass.Preorder(Mask((*ast.DeferStmt)(nil), (*ast.GoStmt)(nil)), func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.GoStmt:
+			deferred[n.Call] = true
+		}
+	})
+	pass.Preorder(Mask((*ast.ExprStmt)(nil), (*ast.AssignStmt)(nil)), func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := unparen(n.X).(*ast.CallExpr)
+			if !ok || deferred[call] {
+				return
 			}
-			return true
-		})
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.ExprStmt:
-				call, ok := unparen(n.X).(*ast.CallExpr)
-				if !ok || deferred[call] {
-					return true
-				}
-				if !resultHasError(pass, call) || exemptDiscard(pass, call) {
-					return true
-				}
-				pass.Reportf(call.Pos(), "%s returns an error that is silently dropped", callName(pass, call))
-			case *ast.AssignStmt:
-				checkBlankAssign(pass, n)
+			if !resultHasError(pass, call) || exemptDiscard(pass, call) {
+				return
 			}
-			return true
-		})
-	}
+			pass.ReportNodef(call, "%s returns an error that is silently dropped", callName(pass, call))
+		case *ast.AssignStmt:
+			checkBlankAssign(pass, n)
+		}
+	})
 	return nil
 }
 

@@ -30,37 +30,35 @@ const numericPkgSuffix = "internal/numeric"
 
 func runExpunderflow(pass *Pass) error {
 	inNumeric := strings.HasSuffix(pass.PkgPath, numericPkgSuffix)
-	for _, f := range pass.Files {
-		walkWithStack(f, func(n ast.Node, stack []ast.Node) {
-			switch n := n.(type) {
-			case *ast.BinaryExpr:
-				if n.Op != token.MUL {
+	pass.Inspect(Mask((*ast.BinaryExpr)(nil), (*ast.CallExpr)(nil)), func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.MUL {
+				return
+			}
+			// Only report at the head of a multiplication chain so a
+			// product of three factors yields one diagnostic.
+			if len(stack) >= 2 {
+				if p, ok := stack[len(stack)-2].(*ast.BinaryExpr); ok && p.Op == token.MUL {
 					return
 				}
-				// Only report at the head of a multiplication chain so a
-				// product of three factors yields one diagnostic.
-				if len(stack) >= 2 {
-					if p, ok := stack[len(stack)-2].(*ast.BinaryExpr); ok && p.Op == token.MUL {
-						return
-					}
-				}
-				if countExpFactors(pass, n) >= 2 {
-					pass.Reportf(n.OpPos, "product of math.Exp calls underflows before it overflows; use math.Exp(a + b)")
-				}
-			case *ast.CallExpr:
-				switch {
-				case isPkgFunc(pass.Info, n, "math", "Log") && len(n.Args) == 1 && asPkgCall(pass.Info, n.Args[0], "math", "Exp") != nil:
-					pass.Reportf(n.Pos(), "math.Log(math.Exp(x)) is x with extra rounding; use x directly")
-				case isPkgFunc(pass.Info, n, "math", "Exp") && len(n.Args) == 1 && asPkgCall(pass.Info, n.Args[0], "math", "Log") != nil:
-					pass.Reportf(n.Pos(), "math.Exp(math.Log(x)) is x with extra rounding (and NaN for x <= 0); use x directly")
-				case !inNumeric && isPkgFunc(pass.Info, n, "math", "Exp") && len(n.Args) == 1:
-					if mentionsLogSpace(pass, n.Args[0]) {
-						pass.Reportf(n.Pos(), "hand-rolled log-space probability term outside %s; use numeric.PoissonPMF, numeric.BinomialPMF or numeric.FoxGlynn", numericPkgSuffix)
-					}
+			}
+			if countExpFactors(pass, n) >= 2 {
+				pass.ReportRangef(n.OpPos, n.End(), "product of math.Exp calls underflows before it overflows; use math.Exp(a + b)")
+			}
+		case *ast.CallExpr:
+			switch {
+			case isPkgFunc(pass.Info, n, "math", "Log") && len(n.Args) == 1 && asPkgCall(pass.Info, n.Args[0], "math", "Exp") != nil:
+				pass.ReportNodef(n, "math.Log(math.Exp(x)) is x with extra rounding; use x directly")
+			case isPkgFunc(pass.Info, n, "math", "Exp") && len(n.Args) == 1 && asPkgCall(pass.Info, n.Args[0], "math", "Log") != nil:
+				pass.ReportNodef(n, "math.Exp(math.Log(x)) is x with extra rounding (and NaN for x <= 0); use x directly")
+			case !inNumeric && isPkgFunc(pass.Info, n, "math", "Exp") && len(n.Args) == 1:
+				if mentionsLogSpace(pass, n.Args[0]) {
+					pass.ReportNodef(n, "hand-rolled log-space probability term outside %s; use numeric.PoissonPMF, numeric.BinomialPMF or numeric.FoxGlynn", numericPkgSuffix)
 				}
 			}
-		})
-	}
+		}
+	})
 	return nil
 }
 

@@ -30,28 +30,26 @@ var approvedCmpFuncs = map[string]bool{
 }
 
 func runFloatcmp(pass *Pass) error {
-	for _, f := range pass.Files {
-		walkWithStack(f, func(n ast.Node, stack []ast.Node) {
-			be, ok := n.(*ast.BinaryExpr)
-			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-				return
-			}
-			tx, ty := pass.TypeOf(be.X), pass.TypeOf(be.Y)
-			if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
-				return
-			}
-			if isZeroConst(pass.Info, be.X) || isZeroConst(pass.Info, be.Y) {
-				return
-			}
-			if types.ExprString(unparen(be.X)) == types.ExprString(unparen(be.Y)) {
-				return // NaN self-test x != x
-			}
-			if approvedCmpFuncs[enclosingFuncName(stack)] {
-				return
-			}
-			pass.Reportf(be.OpPos, "floating-point %s comparison on %s; use numeric.ApproxEqual or an explicit tolerance",
-				be.Op, types.ExprString(be.X))
-		})
-	}
+	pass.Inspect(Mask((*ast.BinaryExpr)(nil)), func(n ast.Node, stack []ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		tx, ty := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+		if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+			return
+		}
+		if isZeroConst(pass.Info, be.X) || isZeroConst(pass.Info, be.Y) {
+			return
+		}
+		if types.ExprString(unparen(be.X)) == types.ExprString(unparen(be.Y)) {
+			return // NaN self-test x != x
+		}
+		if approvedCmpFuncs[enclosingFuncName(stack)] {
+			return
+		}
+		pass.ReportRangef(be.OpPos, be.End(), "floating-point %s comparison on %s; use numeric.ApproxEqual or an explicit tolerance",
+			be.Op, types.ExprString(be.X))
+	})
 	return nil
 }

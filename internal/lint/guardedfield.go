@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Guardedfield enforces the repository's shared-state annotation
+// convention. A struct field whose comment says
+//
+//	// guarded by <mu>
+//
+// (where <mu> names a sync.Mutex or sync.RWMutex field of the same
+// struct) may only be read or written while that mutex is held: every
+// access must be dominated by a `x.mu.Lock()` — or, for reads under an
+// RWMutex, `x.mu.RLock()` — in the same function, with no intervening
+// unlock (see lockscan.go for the exact approximation). Removing the lock
+// from a memo accessor therefore fails the lint run, not just the race
+// detector on a lucky schedule.
+//
+// The annotation is also *required*: a map- or slice-typed field sitting
+// next to a mutex in the same struct is shared state by construction in
+// this codebase, and is reported until it either carries a guarded-by
+// annotation or a //lint:ignore guardedfield justification (e.g. the
+// field is written once before the value is shared).
+//
+// Initialisation through a composite literal (e.g. newMemo's &memo{...})
+// is exempt: the value is not yet shared, and the literal never mentions
+// the fields through a selector anyway.
+var Guardedfield = &Analyzer{
+	Name: "guardedfield",
+	Doc:  "enforces `// guarded by <mu>` field annotations: annotated fields only accessed under their mutex, mutex-adjacent maps/slices must be annotated",
+	Run:  runGuardedfield,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardInfo is the parsed annotation of one field.
+type guardInfo struct {
+	muName string
+	rw     bool // the guarding mutex is an RWMutex
+}
+
+func runGuardedfield(pass *Pass) error {
+	guarded := make(map[*types.Var]guardInfo)
+
+	// Phase 1: collect annotations (and report missing/broken ones) from
+	// every struct type declaration.
+	pass.Inspect(Mask((*ast.TypeSpec)(nil)), func(n ast.Node, stack []ast.Node) {
+		ts := n.(*ast.TypeSpec)
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return
+		}
+		// The struct's mutex fields, by name.
+		mutexes := make(map[string]bool) // name -> isRW
+		hasMutex := false
+		for _, field := range st.Fields.List {
+			mu, rw := isMutexType(pass.TypeOf(field.Type))
+			if !mu {
+				continue
+			}
+			hasMutex = true
+			for _, name := range field.Names {
+				mutexes[name.Name] = rw
+			}
+		}
+		for _, field := range st.Fields.List {
+			if mu, _ := isMutexType(pass.TypeOf(field.Type)); mu {
+				continue
+			}
+			ann := fieldAnnotation(field)
+			switch {
+			case ann != "":
+				rw, ok := mutexes[ann]
+				if !ok {
+					pass.ReportNodef(field, "guarded-by annotation names %q, which is not a mutex field of struct %s", ann, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = guardInfo{muName: ann, rw: rw}
+					}
+				}
+			case hasMutex && isSharedKind(pass.TypeOf(field.Type)):
+				for _, name := range field.Names {
+					pass.ReportNodef(field, "field %s of mutex-bearing struct %s lacks a `// guarded by <mu>` annotation (or //lint:ignore guardedfield <reason>)",
+						name.Name, ts.Name.Name)
+				}
+			}
+		}
+	})
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Phase 2: enforce the annotations at every selector access.
+	pass.Inspect(Mask((*ast.SelectorExpr)(nil)), func(n ast.Node, stack []ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return
+		}
+		info, ok := guarded[v]
+		if !ok {
+			return
+		}
+		write := isWriteAccess(stack)
+		muExpr := types.ExprString(sel.X) + "." + info.muName
+		mode := heldLocks(stack)[muExpr]
+		switch {
+		case mode == lockWrite:
+			return // exclusive lock covers everything
+		case mode == lockRead && info.rw && !write:
+			return // read under RLock is the RWMutex contract
+		}
+		kind := "read"
+		if write {
+			kind = "write"
+		}
+		pass.ReportRangef(sel.Pos(), sel.End(), "%s of %s (guarded by %s) without holding %s.Lock() on this path",
+			kind, types.ExprString(sel), info.muName, muExpr)
+	})
+	return nil
+}
+
+// fieldAnnotation extracts the guarded-by mutex name from a field's doc or
+// end-of-line comment, or "".
+func fieldAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, ignorePrefix) {
+				continue // suppression directives are not annotations
+			}
+			if m := guardedByRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// isSharedKind reports whether a field type is mutable shared state that
+// the convention requires an annotation for: maps and slices. Scalars and
+// pointers can be shared state too, but flagging them wholesale would
+// drown the signal; annotate them voluntarily.
+func isSharedKind(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// isWriteAccess reports whether the selector at the top of stack is
+// written: it (or an index/slice of it) is assigned, ++/--'d, deleted
+// from, or has its address taken.
+func isWriteAccess(stack []ast.Node) bool {
+	// Walk outward while the node is still the "designator" part of a
+	// larger expression (indexing, slicing, parens).
+	cur := stack[len(stack)-1].(ast.Expr)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IndexExpr:
+			if parent.X != cur {
+				return false
+			}
+			cur = parent
+		case *ast.SliceExpr:
+			if parent.X != cur {
+				return false
+			}
+			cur = parent
+		case *ast.ParenExpr:
+			cur = parent
+		case *ast.StarExpr:
+			cur = parent
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return parent.X == cur
+		case *ast.UnaryExpr:
+			// &x.field escapes; treat as write.
+			return parent.Op.String() == "&"
+		case *ast.CallExpr:
+			// delete(m, k) and append-into mutate the first argument.
+			if len(parent.Args) > 0 && parent.Args[0] == cur {
+				if id, ok := unparen(parent.Fun).(*ast.Ident); ok && (id.Name == "delete" || id.Name == "append") {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

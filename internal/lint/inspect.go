@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Inspector is the shared traversal core behind every analyzer: the
+// package's files are walked exactly once at construction time into a flat
+// event list, and each analyzer then replays the list filtered by the
+// concrete node types it cares about. N analyzers therefore cost one AST
+// walk per file plus N cheap array scans, instead of N walks — and the
+// per-subtree type summaries let a scan skip whole subtrees that cannot
+// contain a requested node type.
+//
+// The design follows golang.org/x/tools/go/ast/inspector, reimplemented
+// here because the lint framework is stdlib-only by charter.
+type Inspector struct {
+	events []inspEvent
+}
+
+// inspEvent is one push or pop of the depth-first traversal. A push event
+// stores the index of its matching pop (always greater than its own), a
+// pop event the index of its matching push, so a replay can skip a whole
+// subtree in O(1).
+type inspEvent struct {
+	node ast.Node
+	bits uint64 // type bit of node
+	sub  uint64 // union of bits over node and all its descendants (push only)
+	pair int32
+}
+
+// NewInspector builds the event list for a set of files. It is the single
+// AST walk the whole analyzer suite performs per package.
+func NewInspector(files []*ast.File) *Inspector {
+	var events []inspEvent
+	var open []int32 // indices of push events still awaiting their pop
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				i := open[len(open)-1]
+				open = open[:len(open)-1]
+				events[i].pair = int32(len(events))
+				if len(open) > 0 {
+					events[open[len(open)-1]].sub |= events[i].sub
+				}
+				events = append(events, inspEvent{node: events[i].node, bits: events[i].bits, pair: i})
+				return true
+			}
+			b := typeBit(n)
+			open = append(open, int32(len(events)))
+			events = append(events, inspEvent{node: n, bits: b, sub: b, pair: -1})
+			return true
+		})
+	}
+	return &Inspector{events: events}
+}
+
+// Preorder calls visit for every node whose concrete type is in mask, in
+// depth-first source order.
+func (in *Inspector) Preorder(mask uint64, visit func(n ast.Node)) {
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if int(ev.pair) < i {
+			continue // pop
+		}
+		if ev.sub&mask == 0 {
+			i = int(ev.pair) // nothing of interest below; skip the subtree
+			continue
+		}
+		if ev.bits&mask != 0 {
+			visit(ev.node)
+		}
+	}
+}
+
+// WithStack is Preorder with the stack of enclosing nodes (outermost
+// first, n itself last). The stack is reused between calls: callers must
+// not retain it.
+func (in *Inspector) WithStack(mask uint64, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if int(ev.pair) < i {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if ev.sub&mask == 0 {
+			i = int(ev.pair) // skip subtree without touching the stack
+			continue
+		}
+		stack = append(stack, ev.node)
+		if ev.bits&mask != 0 {
+			visit(ev.node, stack)
+		}
+	}
+}
+
+// Mask returns the type filter selecting the concrete node types of the
+// given examples, for Preorder/WithStack. Pass typed nil pointers:
+//
+//	Mask((*ast.CallExpr)(nil), (*ast.BinaryExpr)(nil))
+func Mask(nodes ...ast.Node) uint64 {
+	var m uint64
+	for _, n := range nodes {
+		m |= typeBit(n)
+	}
+	return m
+}
+
+// typeBit maps each concrete ast.Node type to a distinct bit. Every type
+// go/ast can produce has its own bit (55 concrete node types fit a
+// uint64); the final bit is a catch-all for future node types so a mask
+// can never silently drop nodes.
+func typeBit(n ast.Node) uint64 {
+	switch n.(type) {
+	case *ast.ArrayType:
+		return 1 << 0
+	case *ast.AssignStmt:
+		return 1 << 1
+	case *ast.BadDecl:
+		return 1 << 2
+	case *ast.BadExpr:
+		return 1 << 3
+	case *ast.BadStmt:
+		return 1 << 4
+	case *ast.BasicLit:
+		return 1 << 5
+	case *ast.BinaryExpr:
+		return 1 << 6
+	case *ast.BlockStmt:
+		return 1 << 7
+	case *ast.BranchStmt:
+		return 1 << 8
+	case *ast.CallExpr:
+		return 1 << 9
+	case *ast.CaseClause:
+		return 1 << 10
+	case *ast.ChanType:
+		return 1 << 11
+	case *ast.CommClause:
+		return 1 << 12
+	case *ast.Comment:
+		return 1 << 13
+	case *ast.CommentGroup:
+		return 1 << 14
+	case *ast.CompositeLit:
+		return 1 << 15
+	case *ast.DeclStmt:
+		return 1 << 16
+	case *ast.DeferStmt:
+		return 1 << 17
+	case *ast.Ellipsis:
+		return 1 << 18
+	case *ast.EmptyStmt:
+		return 1 << 19
+	case *ast.ExprStmt:
+		return 1 << 20
+	case *ast.Field:
+		return 1 << 21
+	case *ast.FieldList:
+		return 1 << 22
+	case *ast.File:
+		return 1 << 23
+	case *ast.ForStmt:
+		return 1 << 24
+	case *ast.FuncDecl:
+		return 1 << 25
+	case *ast.FuncLit:
+		return 1 << 26
+	case *ast.FuncType:
+		return 1 << 27
+	case *ast.GenDecl:
+		return 1 << 28
+	case *ast.GoStmt:
+		return 1 << 29
+	case *ast.Ident:
+		return 1 << 30
+	case *ast.IfStmt:
+		return 1 << 31
+	case *ast.ImportSpec:
+		return 1 << 32
+	case *ast.IncDecStmt:
+		return 1 << 33
+	case *ast.IndexExpr:
+		return 1 << 34
+	case *ast.IndexListExpr:
+		return 1 << 35
+	case *ast.InterfaceType:
+		return 1 << 36
+	case *ast.KeyValueExpr:
+		return 1 << 37
+	case *ast.LabeledStmt:
+		return 1 << 38
+	case *ast.MapType:
+		return 1 << 39
+	case *ast.ParenExpr:
+		return 1 << 40
+	case *ast.RangeStmt:
+		return 1 << 41
+	case *ast.ReturnStmt:
+		return 1 << 42
+	case *ast.SelectStmt:
+		return 1 << 43
+	case *ast.SelectorExpr:
+		return 1 << 44
+	case *ast.SendStmt:
+		return 1 << 45
+	case *ast.SliceExpr:
+		return 1 << 46
+	case *ast.StarExpr:
+		return 1 << 47
+	case *ast.StructType:
+		return 1 << 48
+	case *ast.SwitchStmt:
+		return 1 << 49
+	case *ast.TypeAssertExpr:
+		return 1 << 50
+	case *ast.TypeSpec:
+		return 1 << 51
+	case *ast.TypeSwitchStmt:
+		return 1 << 52
+	case *ast.UnaryExpr:
+		return 1 << 53
+	case *ast.ValueSpec:
+		return 1 << 54
+	default:
+		return 1 << 63
+	}
+}

@@ -1,0 +1,131 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/performability/csrl/internal/lint"
+)
+
+const inspectSrc = `package p
+
+import "sort"
+
+type t struct{ xs []int }
+
+func (v *t) sum(m map[string]float64) float64 {
+	var s float64
+	for _, x := range m {
+		s += x
+	}
+	sort.Float64s(nil)
+	return s + float64(len(v.xs)) + 1.5*2.5
+}
+`
+
+func parseInspect(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "inspect_src.go", inspectSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// TestInspectorPreorderMatchesAstInspect asserts the replay visits exactly
+// the nodes ast.Inspect visits, in the same order, for a filtered and an
+// unfiltered mask.
+func TestInspectorPreorderMatchesAstInspect(t *testing.T) {
+	_, f := parseInspect(t)
+	in := lint.NewInspector([]*ast.File{f})
+
+	var want, got []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n != nil {
+			want = append(want, n)
+		}
+		return true
+	})
+	in.Preorder(^uint64(0), func(n ast.Node) { got = append(got, n) })
+	if len(got) != len(want) {
+		t.Fatalf("full-mask Preorder visited %d nodes, ast.Inspect %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: Preorder visited %T, ast.Inspect %T", i, got[i], want[i])
+		}
+	}
+
+	var wantCalls, gotCalls int
+	ast.Inspect(f, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			wantCalls++
+		}
+		return true
+	})
+	in.Preorder(lint.Mask((*ast.CallExpr)(nil)), func(n ast.Node) {
+		if _, ok := n.(*ast.CallExpr); !ok {
+			t.Errorf("filtered Preorder visited %T", n)
+		}
+		gotCalls++
+	})
+	if gotCalls != wantCalls {
+		t.Errorf("filtered Preorder found %d calls, want %d", gotCalls, wantCalls)
+	}
+}
+
+// TestInspectorWithStack asserts the ancestor stack ends with the visited
+// node and contains its real ancestors, outermost first.
+func TestInspectorWithStack(t *testing.T) {
+	_, f := parseInspect(t)
+	in := lint.NewInspector([]*ast.File{f})
+
+	seen := 0
+	in.WithStack(lint.Mask((*ast.BinaryExpr)(nil)), func(n ast.Node, stack []ast.Node) {
+		seen++
+		if stack[len(stack)-1] != n {
+			t.Fatalf("stack top is %T, want the visited node", stack[len(stack)-1])
+		}
+		if _, ok := stack[0].(*ast.File); !ok {
+			t.Fatalf("stack bottom is %T, want *ast.File", stack[0])
+		}
+		// Each element must syntactically contain the next.
+		for i := 0; i+1 < len(stack); i++ {
+			if stack[i].Pos() > stack[i+1].Pos() || stack[i].End() < stack[i+1].End() {
+				t.Fatalf("stack[%d] (%T) does not contain stack[%d] (%T)", i, stack[i], i+1, stack[i+1])
+			}
+		}
+	})
+	// s += x, s + ..., ... + 1.5*2.5, and the 1.5*2.5 factor live in the
+	// source; += is an AssignStmt, so three binary expressions remain.
+	if seen != 3 {
+		t.Errorf("visited %d binary expressions, want 3", seen)
+	}
+}
+
+// TestMaskBitsDistinct asserts the node types the analyzers rely on get
+// distinct filter bits (a shared bit would make Preorder over-visit).
+func TestMaskBitsDistinct(t *testing.T) {
+	examples := []ast.Node{
+		(*ast.AssignStmt)(nil), (*ast.BinaryExpr)(nil), (*ast.CallExpr)(nil),
+		(*ast.CompositeLit)(nil), (*ast.DeferStmt)(nil), (*ast.ExprStmt)(nil),
+		(*ast.ForStmt)(nil), (*ast.FuncDecl)(nil), (*ast.FuncLit)(nil),
+		(*ast.GoStmt)(nil), (*ast.RangeStmt)(nil), (*ast.ReturnStmt)(nil),
+		(*ast.SelectorExpr)(nil), (*ast.StructType)(nil), (*ast.TypeSpec)(nil),
+		(*ast.UnaryExpr)(nil), (*ast.ValueSpec)(nil), (*ast.IncDecStmt)(nil),
+	}
+	seen := make(map[uint64]ast.Node)
+	for _, n := range examples {
+		bit := lint.Mask(n)
+		if bit == 0 || bit&(bit-1) != 0 {
+			t.Errorf("Mask(%T) = %#x, want a single bit", n, bit)
+		}
+		if prev, ok := seen[bit]; ok {
+			t.Errorf("%T and %T share filter bit %#x", n, prev, bit)
+		}
+		seen[bit] = n
+	}
+}

@@ -47,17 +47,51 @@ type Pass struct {
 	Info *types.Info
 	// PkgPath is the package's import path within the module.
 	PkgPath string
+	// GoVersion is the module's go directive (e.g. "1.22"); "" means
+	// unknown, which version-gated checks treat as current.
+	GoVersion string
 
+	insp  *Inspector
 	diags *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
+	p.ReportRangef(pos, pos, format, args...)
+}
+
+// ReportRangef records a diagnostic anchored at pos whose construct
+// extends to end. The extent only matters for //lint:ignore matching: a
+// directive at the end of any line the construct spans suppresses the
+// finding, so wrapped statements can carry the directive on their last
+// physical line.
+func (p *Pass) ReportRangef(pos, end token.Pos, format string, args ...any) {
+	d := Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if end.IsValid() {
+		d.End = p.Fset.Position(end)
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// ReportNodef records a diagnostic spanning node n.
+func (p *Pass) ReportNodef(n ast.Node, format string, args ...any) {
+	p.ReportRangef(n.Pos(), n.End(), format, args...)
+}
+
+// Inspect replays the package's shared traversal (one AST walk for the
+// whole analyzer suite, see Inspector) for the node types in mask, handing
+// visit the stack of enclosing nodes (outermost first, n last).
+func (p *Pass) Inspect(mask uint64, visit func(n ast.Node, stack []ast.Node)) {
+	p.insp.WithStack(mask, visit)
+}
+
+// Preorder is Inspect without the ancestor stack.
+func (p *Pass) Preorder(mask uint64, visit func(n ast.Node)) {
+	p.insp.Preorder(mask, visit)
 }
 
 // TypeOf returns the type of expression e, or nil when unknown.
@@ -65,7 +99,10 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // Diagnostic is one finding, positioned in the original source.
 type Diagnostic struct {
-	Pos      token.Position
+	Pos token.Position
+	// End is the position just past the flagged construct; the zero value
+	// means the construct is taken to end on Pos.Line.
+	End      token.Position
 	Analyzer string
 	Message  string
 }
@@ -140,22 +177,28 @@ func NewRunner(as []*Analyzer) *Runner { return &Runner{Analyzers: as} }
 // diagnostics, sorted by position, with //lint:ignore suppressions applied.
 func (r *Runner) RunPackage(pkg *Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	insp := pkg.Inspector()
 	for _, a := range r.Analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			PkgPath:  pkg.Path,
-			diags:    &diags,
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			PkgPath:   pkg.Path,
+			GoVersion: pkg.GoVersion,
+			insp:      insp,
+			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	known := make(map[string]bool, len(r.Analyzers))
-	for _, a := range r.Analyzers {
+	// Directives validate against the full registry, not this runner's
+	// enabled subset: naming a disabled analyzer is a fine (dormant)
+	// suppression, only a name no analyzer has ever had is a typo.
+	known := make(map[string]bool)
+	for _, a := range All() {
 		known[a.Name] = true
 	}
 	// Suppression directives and their diagnostics, per file.
@@ -184,11 +227,18 @@ func (r *Runner) RunPackage(pkg *Package) ([]Diagnostic, error) {
 	return kept, nil
 }
 
-// suppressed reports whether a directive on the diagnostic's line or the
-// line immediately above it names the diagnostic's analyzer.
+// suppressed reports whether a directive names the diagnostic's analyzer
+// from the line immediately above the diagnostic, or from any line the
+// flagged construct spans — so an end-of-line directive works on the last
+// line of a wrapped statement, not only when it happens to share the
+// anchor position's line.
 func suppressed(d Diagnostic, dirs []*ignoreDirective) bool {
+	last := d.Pos.Line
+	if d.End.Line > last && d.End.Filename == d.Pos.Filename {
+		last = d.End.Line
+	}
 	for _, dir := range dirs {
-		if (dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) && dir.analyzers[d.Analyzer] {
+		if dir.line >= d.Pos.Line-1 && dir.line <= last && dir.analyzers[d.Analyzer] {
 			dir.used = true
 			return true
 		}

@@ -27,6 +27,14 @@ func newLoader(t *testing.T) *lint.Loader {
 // path and runs a single analyzer over it.
 func loadGolden(t *testing.T, l *lint.Loader, relFile, pkgPath, analyzer string) []lint.Diagnostic {
 	t.Helper()
+	return loadGoldenVersion(t, l, relFile, pkgPath, analyzer, "")
+}
+
+// loadGoldenVersion is loadGolden with an explicit module go version, for
+// analyzers whose checks are gated on the go directive (goVersion ""
+// means "current toolchain semantics").
+func loadGoldenVersion(t *testing.T, l *lint.Loader, relFile, pkgPath, analyzer, goVersion string) []lint.Diagnostic {
+	t.Helper()
 	full := filepath.Join(l.ModuleDir, "testdata", "lint", filepath.FromSlash(relFile))
 	f, err := parser.ParseFile(l.Fset(), full, nil, parser.ParseComments|parser.SkipObjectResolution)
 	if err != nil {
@@ -41,12 +49,13 @@ func loadGolden(t *testing.T, l *lint.Loader, relFile, pkgPath, analyzer string)
 		t.Fatalf("unknown analyzer %q", analyzer)
 	}
 	pkg := &lint.Package{
-		Dir:   filepath.Dir(full),
-		Path:  pkgPath,
-		Fset:  l.Fset(),
-		Files: []*ast.File{f},
-		Types: tpkg,
-		Info:  info,
+		Dir:       filepath.Dir(full),
+		Path:      pkgPath,
+		Fset:      l.Fset(),
+		Files:     []*ast.File{f},
+		Types:     tpkg,
+		Info:      info,
+		GoVersion: goVersion,
 	}
 	diags, err := lint.NewRunner([]*lint.Analyzer{a}).RunPackage(pkg)
 	if err != nil {
@@ -103,28 +112,39 @@ func TestGoldenFiles(t *testing.T) {
 	l := newLoader(t)
 	fakePath := l.ModulePath + "/internal/fake"
 	cases := []struct {
-		file     string
-		pkgPath  string
-		analyzer string
+		file      string
+		pkgPath   string
+		analyzer  string
+		goVersion string
 	}{
-		{"floatcmp/positive.go", fakePath, "floatcmp"},
-		{"floatcmp/negative.go", fakePath, "floatcmp"},
-		{"expunderflow/positive.go", fakePath, "expunderflow"},
-		{"expunderflow/negative.go", l.ModulePath + "/internal/numeric", "expunderflow"},
-		{"expunderflow/negative_outside.go", fakePath, "expunderflow"},
-		{"droppederr/positive.go", fakePath, "droppederr"},
-		{"droppederr/negative.go", fakePath, "droppederr"},
-		{"aliasret/positive.go", l.ModulePath + "/internal/sparse", "aliasret"},
-		{"aliasret/negative.go", l.ModulePath + "/internal/sparse", "aliasret"},
-		{"aliasret/negative_otherpkg.go", fakePath, "aliasret"},
-		{"bannedcall/positive.go", fakePath, "bannedcall"},
-		{"bannedcall/negative.go", l.ModulePath + "/cmd/fake", "bannedcall"},
-		{"ignore/suppressed.go", fakePath, "floatcmp"},
+		{file: "floatcmp/positive.go", pkgPath: fakePath, analyzer: "floatcmp"},
+		{file: "floatcmp/negative.go", pkgPath: fakePath, analyzer: "floatcmp"},
+		{file: "expunderflow/positive.go", pkgPath: fakePath, analyzer: "expunderflow"},
+		{file: "expunderflow/negative.go", pkgPath: l.ModulePath + "/internal/numeric", analyzer: "expunderflow"},
+		{file: "expunderflow/negative_outside.go", pkgPath: fakePath, analyzer: "expunderflow"},
+		{file: "droppederr/positive.go", pkgPath: fakePath, analyzer: "droppederr"},
+		{file: "droppederr/negative.go", pkgPath: fakePath, analyzer: "droppederr"},
+		{file: "aliasret/positive.go", pkgPath: l.ModulePath + "/internal/sparse", analyzer: "aliasret"},
+		{file: "aliasret/negative.go", pkgPath: l.ModulePath + "/internal/sparse", analyzer: "aliasret"},
+		{file: "aliasret/negative_otherpkg.go", pkgPath: fakePath, analyzer: "aliasret"},
+		{file: "bannedcall/positive.go", pkgPath: fakePath, analyzer: "bannedcall"},
+		{file: "bannedcall/negative.go", pkgPath: l.ModulePath + "/cmd/fake", analyzer: "bannedcall"},
+		{file: "guardedfield/positive.go", pkgPath: fakePath, analyzer: "guardedfield"},
+		{file: "guardedfield/negative.go", pkgPath: fakePath, analyzer: "guardedfield"},
+		{file: "goroutinemisuse/positive.go", pkgPath: fakePath, analyzer: "goroutinemisuse"},
+		{file: "goroutinemisuse/negative.go", pkgPath: fakePath, analyzer: "goroutinemisuse"},
+		{file: "goroutinemisuse/capture_old.go", pkgPath: fakePath, analyzer: "goroutinemisuse", goVersion: "1.21"},
+		{file: "maporder/positive.go", pkgPath: fakePath, analyzer: "maporder"},
+		{file: "maporder/negative.go", pkgPath: fakePath, analyzer: "maporder"},
+		{file: "mutexcopy/positive.go", pkgPath: fakePath, analyzer: "mutexcopy"},
+		{file: "mutexcopy/negative.go", pkgPath: fakePath, analyzer: "mutexcopy"},
+		{file: "ignore/suppressed.go", pkgPath: fakePath, analyzer: "floatcmp"},
+		{file: "ignore/multiline.go", pkgPath: fakePath, analyzer: "floatcmp"},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(strings.ReplaceAll(tc.file, "/", "_"), func(t *testing.T) {
-			diags := loadGolden(t, l, tc.file, tc.pkgPath, tc.analyzer)
+			diags := loadGoldenVersion(t, l, tc.file, tc.pkgPath, tc.analyzer, tc.goVersion)
 			checkGolden(t, tc.file, diags)
 		})
 	}
@@ -175,8 +195,8 @@ func TestDiagnosticString(t *testing.T) {
 
 func TestAnalyzerRegistry(t *testing.T) {
 	all := lint.All()
-	if len(all) < 5 {
-		t.Fatalf("registry has %d analyzers, want >= 5", len(all))
+	if len(all) < 9 {
+		t.Fatalf("registry has %d analyzers, want >= 9", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
@@ -194,7 +214,10 @@ func TestAnalyzerRegistry(t *testing.T) {
 	if lint.ByName("nosuch") != nil {
 		t.Error("ByName of an unknown analyzer should be nil")
 	}
-	for _, required := range []string{"floatcmp", "expunderflow", "droppederr", "aliasret", "bannedcall"} {
+	for _, required := range []string{
+		"floatcmp", "expunderflow", "droppederr", "aliasret", "bannedcall",
+		"guardedfield", "goroutinemisuse", "maporder", "mutexcopy",
+	} {
 		if !seen[required] {
 			t.Errorf("required analyzer %q missing from registry", required)
 		}

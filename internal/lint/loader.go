@@ -23,6 +23,20 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// GoVersion is the module's go directive ("1.22"); version-gated
+	// checks treat "" as current.
+	GoVersion string
+
+	insp *Inspector
+}
+
+// Inspector returns the package's shared traversal, building it on first
+// use. Every analyzer replays this one walk (see Inspector).
+func (p *Package) Inspector() *Inspector {
+	if p.insp == nil {
+		p.insp = NewInspector(p.Files)
+	}
+	return p.insp
 }
 
 // Loader parses and type-checks packages of a single module using only the
@@ -32,6 +46,8 @@ type Package struct {
 type Loader struct {
 	ModuleDir  string
 	ModulePath string
+	// GoVersion is the module's go directive, e.g. "1.22" ("" if absent).
+	GoVersion string
 
 	fset    *token.FileSet
 	std     types.ImporterFrom
@@ -57,7 +73,7 @@ func NewLoader(dir string) (*Loader, error) {
 		}
 		root = parent
 	}
-	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	modPath, goVersion, err := moduleDirectives(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +85,7 @@ func NewLoader(dir string) (*Loader, error) {
 	return &Loader{
 		ModuleDir:  root,
 		ModulePath: modPath,
+		GoVersion:  goVersion,
 		fset:       fset,
 		std:        srcImp,
 		pkgs:       make(map[string]*Package),
@@ -79,18 +96,23 @@ func NewLoader(dir string) (*Loader, error) {
 // Fset returns the loader's file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
-func modulePath(gomod string) (string, error) {
+func moduleDirectives(gomod string) (path, goVersion string, err error) {
 	data, err := os.ReadFile(gomod)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if rest, ok := strings.CutPrefix(line, "module "); ok {
-			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+			path = strings.Trim(strings.TrimSpace(rest), `"`)
+		} else if rest, ok := strings.CutPrefix(line, "go "); ok {
+			goVersion = strings.TrimSpace(rest)
 		}
 	}
-	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+	if path == "" {
+		return "", "", fmt.Errorf("lint: no module directive in %s", gomod)
+	}
+	return path, goVersion, nil
 }
 
 // Expand resolves package patterns (a directory, or a prefix ending in
@@ -214,7 +236,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Package{Dir: dir, Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	p := &Package{Dir: dir, Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info, GoVersion: l.GoVersion}
 	l.pkgs[path] = p
 	return p, nil
 }

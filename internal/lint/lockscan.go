@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// lockscan is the shared control-flow approximation behind guardedfield
+// and goroutinemisuse: which mutexes are held at a given node. It is a
+// dominator approximation over the syntax tree — a lock counts as held
+// when a `x.Lock()` statement appears in an enclosing statement list
+// before the statement containing the node, with no intervening non-
+// deferred `x.Unlock()` in that same list. `defer x.Unlock()` keeps the
+// lock held for the rest of the function, matching the idiom
+//
+//	c.mu.Lock()
+//	defer c.mu.Unlock()
+//
+// The scan never crosses a function-literal boundary: a lock taken by the
+// enclosing function is not assumed held inside a closure, because the
+// closure may run on another goroutine.
+
+// lockMode distinguishes exclusive from read locks.
+type lockMode int
+
+const (
+	lockRead  lockMode = iota + 1 // RLock
+	lockWrite                     // Lock
+)
+
+// heldLocks returns the mutexes held at the innermost node of stack,
+// keyed by the rendered mutex expression (e.g. "c.mu"). stack is an
+// ancestor stack as handed out by Pass.Inspect.
+func heldLocks(stack []ast.Node) map[string]lockMode {
+	held := make(map[string]lockMode)
+	// Only statement lists inside the innermost function matter.
+	funcBoundary := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			funcBoundary = i
+		}
+		if funcBoundary != 0 {
+			break
+		}
+	}
+	for i := funcBoundary; i+1 < len(stack); i++ {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		next := stack[i+1]
+		for _, stmt := range list {
+			if stmt == next {
+				break
+			}
+			scanLockStmt(stmt, held)
+		}
+	}
+	return held
+}
+
+// scanLockStmt updates held for one statement: top-level Lock/RLock calls
+// acquire, top-level Unlock/RUnlock calls release, deferred releases are
+// ignored (they fire at function exit, after every dominated access).
+func scanLockStmt(stmt ast.Stmt, held map[string]lockMode) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return
+	}
+	target := types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock":
+		held[target] = lockWrite
+	case "RLock":
+		held[target] = lockRead
+	case "Unlock", "RUnlock":
+		delete(held, target)
+	}
+}
+
+// heldLockNames renders the held set sorted, for diagnostics.
+func heldLockNames(held map[string]lockMode) []string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (directly
+// or behind one pointer), and whether it is the RW flavour.
+func isMutexType(t types.Type) (mutex, rw bool) {
+	if t == nil {
+		return false, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}

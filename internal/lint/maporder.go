@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `for … range` loops over maps whose body is sensitive to
+// iteration order. Go randomises map iteration, so such loops are a
+// determinism hazard in a codebase whose charter is bitwise-reproducible
+// numerics:
+//
+//   - accumulating into a float across iterations — float addition is not
+//     associative, so the rounded sum depends on visit order;
+//   - appending to a slice declared outside the loop without sorting it
+//     afterwards in the same block — the slice layout leaks the random
+//     order to callers;
+//   - writing output (fmt print family, Fprint*, or a Write/WriteString
+//     method) — logs and reports become non-reproducible.
+//
+// The fix is the sorted-keys idiom: collect keys, sort, then index the map
+// in key order (as mrm.Labels does) — or sort the accumulated slice before
+// it escapes. Order-insensitive bodies (pure lookups, integer counting,
+// map-to-map copies) are untouched.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops whose body accumulates floats, builds unsorted result slices, or writes output",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	pass.Inspect(Mask((*ast.RangeStmt)(nil)), func(n ast.Node, stack []ast.Node) {
+		rng := n.(*ast.RangeStmt)
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return
+		}
+		checkMapRangeBody(pass, rng, stack)
+	})
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rng {
+				return false // the nested loop gets its own visit
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, stack, n)
+		case *ast.CallExpr:
+			if isOutputCall(pass, n) {
+				pass.ReportNodef(n, "output written while ranging over a map; iteration order is randomised — iterate sorted keys instead")
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-sensitive assignments inside the loop
+// body: float accumulation and unsorted appends into outer slices.
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if !isFloat(pass.TypeOf(lhs)) {
+				continue
+			}
+			if v := loopOuterVar(pass, lhs, rng); v != nil {
+				pass.ReportNodef(as, "float accumulation into %s while ranging over a map; rounding depends on iteration order — iterate sorted keys (or use a compensated sum over sorted keys)", v.Name())
+			}
+		}
+	case token.ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBuiltin(pass.Info, call, "append") || len(call.Args) == 0 {
+			return
+		}
+		dst := loopOuterVar(pass, as.Lhs[0], rng)
+		if dst == nil {
+			return
+		}
+		// `xs = append(xs, …)` growing an outer slice: fine only if the
+		// surrounding block sorts xs after the loop.
+		if base := loopOuterVar(pass, call.Args[0], rng); base == nil || base != dst {
+			return
+		}
+		if sortedAfterLoop(pass, rng, stack, dst) {
+			return
+		}
+		pass.ReportNodef(as, "append to %s while ranging over a map leaks the randomised order; sort %s after the loop or iterate sorted keys", dst.Name(), dst.Name())
+	}
+}
+
+// loopOuterVar resolves e to a variable declared outside the range
+// statement (so its value survives the loop), or nil.
+func loopOuterVar(pass *Pass, e ast.Expr, rng *ast.RangeStmt) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if rng.Pos() <= v.Pos() && v.Pos() < rng.End() {
+		return nil // loop-local, dies with the iteration or the loop
+	}
+	return v
+}
+
+// sortedAfterLoop reports whether a statement after rng in its enclosing
+// statement list is a sort.*/slices.Sort* call mentioning v.
+func sortedAfterLoop(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, v *types.Var) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		default:
+			continue
+		}
+		after := false
+		for _, stmt := range list {
+			if stmt == ast.Stmt(rng) || containsNode(stmt, rng) {
+				after = true
+				continue
+			}
+			if after && stmtSorts(pass, stmt, v) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// containsNode reports whether outer's extent covers inner.
+func containsNode(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+// stmtSorts reports whether stmt calls a sorting function with v among the
+// call's arguments (sort.Strings(xs), slices.Sort(xs), sort.Slice(xs, …)).
+func stmtSorts(pass *Pass, stmt ast.Stmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" && !strings.HasSuffix(pkg, "/slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isOutputCall reports whether call writes user-visible output: the fmt
+// print family or a Write/WriteString method on anything.
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "F") {
+		return true // Fprint, Fprintf, Fprintln — writer-directed output
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mutexcopy flags values that carry a sync primitive being copied: a copy
+// of a sync.Mutex is a second, independently-unlocked mutex, so the copy
+// silently stops guarding anything. Mirrors `go vet -copylocks` so the
+// lint run catches it even where vet is not wired in, and so the two can
+// be cross-checked in CI. Flagged shapes:
+//
+//   - methods with a value receiver on a lock-bearing type;
+//   - function parameters or results of a lock-bearing (non-pointer) type;
+//   - assignments whose right-hand side copies an existing lock-bearing
+//     value (`x := *p`, `y = x`) — fresh composite literals and zero
+//     values are fine, they have never guarded anything;
+//   - range clauses whose value variable copies lock-bearing elements.
+var Mutexcopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags sync.Mutex/RWMutex/WaitGroup/Once/Cond values copied via receivers, params, results, assignments or range clauses",
+	Run:  runMutexcopy,
+}
+
+func runMutexcopy(pass *Pass) error {
+	mask := Mask((*ast.FuncDecl)(nil), (*ast.AssignStmt)(nil), (*ast.RangeStmt)(nil))
+	pass.Preorder(mask, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFuncSignature(pass, n)
+		case *ast.AssignStmt:
+			checkAssignCopies(pass, n)
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if name := lockPath(pass.TypeOf(n.Value)); name != "" {
+					pass.ReportNodef(n.Value, "range value variable copies %s each iteration; range over indices or use a slice of pointers", name)
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// checkFuncSignature flags value receivers, parameters and results whose
+// type embeds a sync primitive.
+func checkFuncSignature(pass *Pass, fd *ast.FuncDecl) {
+	report := func(field *ast.Field, role string) {
+		if name := lockPath(pass.TypeOf(field.Type)); name != "" {
+			pass.ReportNodef(field, "%s copies %s; pass a pointer instead", role, name)
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			report(f, "value receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			report(f, "parameter")
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			report(f, "result")
+		}
+	}
+}
+
+// checkAssignCopies flags assignments that duplicate an existing
+// lock-bearing value. Sources that construct a fresh value — composite
+// literals, conversions of literals, function calls — are exempt: a mutex
+// that has never been shared cannot be desynchronised by the copy.
+func checkAssignCopies(pass *Pass, as *ast.AssignStmt) {
+	n := len(as.Rhs)
+	if n == 0 || len(as.Lhs) != n {
+		return // x, y := f() — the call constructs fresh values
+	}
+	for i, rhs := range as.Rhs {
+		if id, ok := unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			continue // discarded, no second copy lives on
+		}
+		src := unparen(rhs)
+		switch src.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			// reads of an existing value: copying these duplicates state
+		default:
+			continue
+		}
+		if name := lockPath(pass.TypeOf(src)); name != "" {
+			pass.ReportNodef(as.Lhs[i], "assignment copies %s; use a pointer to share the original", name)
+		}
+	}
+}
+
+// lockPath reports a human-readable description of the sync primitive a
+// (non-pointer) type carries by value, or "". It recurses through structs
+// and arrays, mirroring what an implicit copy duplicates.
+func lockPath(t types.Type) string {
+	return lockPathDepth(t, 0)
+}
+
+func lockPathDepth(t types.Type, depth int) string {
+	if t == nil || depth > 10 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockPathDepth(u.Field(i).Type(), depth+1); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockPathDepth(u.Elem(), depth+1)
+	}
+	return ""
+}

@@ -18,21 +18,6 @@ func unparen(e ast.Expr) ast.Expr {
 	}
 }
 
-// walkWithStack walks the file like ast.Inspect but hands visit the stack
-// of enclosing nodes (outermost first, n last).
-func walkWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node)) {
-	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		stack = append(stack, n)
-		visit(n, stack)
-		return true
-	})
-}
-
 // calleeFunc resolves the called function or method of call, or nil for
 // conversions, builtins and indirect calls through function values.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {

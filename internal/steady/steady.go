@@ -83,10 +83,13 @@ func Probabilities(m *mrm.MRM, phi *mrm.StateSet) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Sum in the component's member order, not map order: float
+		// addition rounds differently per permutation, and map iteration
+		// is randomised.
 		var phiMass float64
-		for s, p := range pi {
+		for _, s := range comp {
 			if phi.Contains(s) {
-				phiMass += p
+				phiMass += pi[s]
 			}
 		}
 		if phiMass == 0 {

@@ -1,0 +1,30 @@
+// Loop-variable capture cases, type-checked as if the module declared
+// `go 1.21`: before per-iteration loop variables, a goroutine that
+// captures the iteration variable sees whatever value the loop has
+// advanced to by the time it runs.
+package fake
+
+func rangeCapture(xs []int, out chan int) {
+	for _, x := range xs {
+		go func() { // want "raw go statement"
+			out <- x // want "captures loop variable x"
+		}()
+	}
+}
+
+func forCapture(xs []int, out chan int) {
+	for i := 0; i < len(xs); i++ {
+		go func() { // want "raw go statement"
+			out <- xs[i] // want "captures loop variable i"
+		}()
+	}
+}
+
+func shadowed(xs []int, out chan int) {
+	for _, x := range xs {
+		x := x
+		go func() { // want "raw go statement"
+			out <- x // the shadow is per-iteration, no capture hazard
+		}()
+	}
+}

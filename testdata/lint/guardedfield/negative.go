@@ -1,0 +1,67 @@
+// Negative cases for the guardedfield analyzer: properly locked accesses,
+// construction through composite literals, RWMutex read contracts, structs
+// without mutexes, and explicit suppression.
+package fake
+
+import "sync"
+
+type okCache struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	warm  []int          //lint:ignore guardedfield written once during construction, read-only afterwards
+}
+
+func newOkCache() *okCache {
+	return &okCache{
+		items: make(map[string]int),
+		warm:  []int{1, 2, 3},
+	}
+}
+
+func (c *okCache) get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[k]
+}
+
+func (c *okCache) swap(k string, v int) int {
+	c.mu.Lock()
+	old := c.items[k]
+	c.items[k] = v
+	c.mu.Unlock()
+	return old
+}
+
+func (c *okCache) conditional(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v > 0 {
+		c.items[k] = v // lock acquired in the enclosing block still dominates
+	}
+}
+
+type rwOk struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (r *rwOk) read(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k] // reads under RLock are the RWMutex contract
+}
+
+func (r *rwOk) write(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+// plain has no mutex, so its map field needs no annotation.
+type plain struct {
+	m map[string]int
+}
+
+func (p *plain) get(k string) int {
+	return p.m[k]
+}

@@ -1,0 +1,60 @@
+// Positive cases for the guardedfield analyzer: unlocked accesses to
+// annotated fields, a missing annotation on a mutex-adjacent map, and an
+// annotation naming a non-mutex.
+package fake
+
+import "sync"
+
+type cache struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+}
+
+type stale struct {
+	mu   sync.Mutex
+	data map[string]int // want "lacks a"
+}
+
+type broken struct {
+	mu sync.Mutex
+	m  map[string]int // guarded by lock // want "not a mutex field"
+}
+
+func (c *cache) get(k string) int {
+	return c.items[k] // want "read of c.items"
+}
+
+func (c *cache) put(k string, v int) {
+	c.items[k] = v // want "write of c.items"
+}
+
+func (c *cache) unlockTooEarly(k string) int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.items[k] // want "read of c.items"
+}
+
+func (c *cache) escapes() *map[string]int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return &c.items // want "write of c.items"
+}
+
+type rwcache struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (r *rwcache) writeUnderRLock(k string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.m[k] = v // want "write of r.m"
+}
+
+func (r *rwcache) closureLoses(k string) func() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() int {
+		return r.m[k] // want "read of r.m"
+	}
+}

@@ -1,0 +1,15 @@
+// Regression cases for directive extent matching: a diagnostic whose
+// construct spans several lines must honour an end-of-line directive on
+// any line it covers — in particular the last one, where gofmt puts the
+// wrapped operand.
+package fake
+
+func wrappedSuppressed(a, b float64) bool {
+	return a ==
+		b //lint:ignore floatcmp exact equality is the documented contract of this helper
+}
+
+func wrappedFlagged(a, b float64) bool {
+	return a != // want "floating-point != comparison"
+		b
+}

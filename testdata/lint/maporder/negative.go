@@ -1,0 +1,64 @@
+// Negative cases for the maporder analyzer: the sorted-keys idiom,
+// order-insensitive bodies, loop-local accumulation, and suppression.
+package fake
+
+import (
+	"fmt"
+	"sort"
+)
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k) // sorted below, so the random order never escapes
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedSum(m map[string]float64) float64 {
+	var total float64
+	for _, k := range sortedKeys(m) {
+		total += m[k] // ranges over a sorted slice, not the map
+	}
+	return total
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition is associative; order cannot change it
+	}
+	return total
+}
+
+func clone(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func scale(m map[string]float64, f float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		v *= f // loop-local: dies with the iteration
+		out[k] = v
+	}
+	return out
+}
+
+func debugDump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //lint:ignore maporder debug output, order genuinely does not matter
+	}
+}

@@ -1,0 +1,35 @@
+// Positive cases for the maporder analyzer: order-sensitive map-range
+// bodies — float accumulation, unsorted result slices, and output.
+package fake
+
+import "fmt"
+
+func sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation into total"
+	}
+	return total
+}
+
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want "append to ks"
+	}
+	return ks
+}
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "output written while ranging over a map"
+	}
+}
+
+func weighted(m map[int]float64, w []float64) float64 {
+	var acc float64
+	for s, p := range m {
+		acc -= p * w[s] // want "float accumulation into acc"
+	}
+	return acc
+}

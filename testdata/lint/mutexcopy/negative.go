@@ -1,0 +1,61 @@
+// Negative cases for the mutexcopy analyzer: pointer plumbing, fresh
+// values, lock-free structs, and an explicitly suppressed snapshot read.
+package fake
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *gauge) inc() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func update(g *gauge, d int) {
+	g.mu.Lock()
+	g.n += d
+	g.mu.Unlock()
+}
+
+func newGauge() *gauge {
+	return &gauge{}
+}
+
+func fresh() {
+	var wg sync.WaitGroup // a declaration creates, it does not copy
+	wg.Add(1)
+	go1 := func() { wg.Done() }
+	go1()
+	wg.Wait()
+}
+
+func pointers(gs []*gauge) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+type point struct{ x, y float64 }
+
+func plain(ps []point) float64 {
+	var total float64
+	for _, p := range ps { // no lock inside, copying is fine
+		total += p.x + p.y
+	}
+	return total
+}
+
+type snapshot struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (s snapshot) reading() int { //lint:ignore mutexcopy value receiver reads an already-published snapshot
+	return s.v
+}

@@ -1,0 +1,52 @@
+// Positive cases for the mutexcopy analyzer: sync primitives duplicated
+// through receivers, parameters, results, assignments and range clauses.
+package fake
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) value() int { // want "value receiver copies sync.Mutex"
+	return c.n
+}
+
+func inspect(c counter) int { // want "parameter copies sync.Mutex"
+	return c.n
+}
+
+func copyAssign(c *counter) int {
+	local := *c // want "assignment copies sync.Mutex"
+	return local.n
+}
+
+func reassign(a, b *counter) {
+	*a = *b // want "assignment copies sync.Mutex"
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want "range value variable copies sync.Mutex"
+		total += c.n
+	}
+	return total
+}
+
+type job struct {
+	wg   sync.WaitGroup
+	name string
+}
+
+func steal(j *job) job { // want "result copies sync.WaitGroup"
+	return *j
+}
+
+type deep struct {
+	inner [2]counter
+}
+
+func nested(d deep) int { // want "parameter copies sync.Mutex"
+	return d.inner[0].n
+}
