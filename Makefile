@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-github lint-consistency bench-smoke fmt vet
+.PHONY: all build test race lint lint-github lint-consistency bench-smoke bench-check fmt vet
 
 all: build lint test
 
@@ -30,6 +30,12 @@ lint-consistency:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	$(GO) run ./cmd/perfbench -compare
+	$(GO) run ./cmd/perfbench -json BENCH_PR4.json
+
+# Compare a fresh benchmark run against the committed performance trail;
+# exits non-zero on >20% time or >10% allocation regressions.
+bench-check:
+	$(GO) run ./cmd/perfbench -baseline BENCH_PR4.json
 
 fmt:
 	gofmt -l -w .

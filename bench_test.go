@@ -47,6 +47,7 @@ func BenchmarkTable2Sericola(b *testing.B) {
 	m, goal, init := q3Setup(b)
 	for _, eps := range []float64{1e-2, 1e-4, 1e-8} {
 		b.Run(fmt.Sprintf("eps=%.0e", eps), func(b *testing.B) {
+			b.ReportAllocs()
 			var v float64
 			for i := 0; i < b.N; i++ {
 				res, err := sericola.ReachProbAll(m, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound,
@@ -67,6 +68,7 @@ func BenchmarkTable3Erlang(b *testing.B) {
 	m, goal, init := q3Setup(b)
 	for _, k := range []int{16, 128, 1024} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			var v float64
 			for i := 0; i < b.N; i++ {
 				vals, err := erlang.ReachProbAll(m, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound,
@@ -87,6 +89,7 @@ func BenchmarkTable4Discretise(b *testing.B) {
 	m, goal, init := q3Setup(b)
 	for _, den := range []int{16, 32, 64} {
 		b.Run(fmt.Sprintf("d=1over%d", den), func(b *testing.B) {
+			b.ReportAllocs()
 			var v float64
 			for i := 0; i < b.N; i++ {
 				got, err := discretise.ReachProb(m, goal, adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound, init,
@@ -104,6 +107,7 @@ func BenchmarkTable4Discretise(b *testing.B) {
 // BenchmarkFigure1Simulation regenerates Figure 1's process: Monte-Carlo
 // sampling of the 2-D process (X_t, Y_t) with the absorbing reward barrier.
 func BenchmarkFigure1Simulation(b *testing.B) {
+	b.ReportAllocs()
 	m, goal, init := q3Setup(b)
 	s := sim.New(m, 1)
 	hits := 0
@@ -122,6 +126,7 @@ func BenchmarkFigure1Simulation(b *testing.B) {
 // BenchmarkFigure2SRNGeneration regenerates Figure 2's model: SRN
 // reachability-graph construction of the battery-powered station.
 func BenchmarkFigure2SRNGeneration(b *testing.B) {
+	b.ReportAllocs()
 	net, init := adhoc.Net()
 	for i := 0; i < b.N; i++ {
 		m, _, err := net.BuildMRM(init, srn.Options{Reward: adhoc.Power})
@@ -137,6 +142,7 @@ func BenchmarkFigure2SRNGeneration(b *testing.B) {
 // BenchmarkQ1RewardBoundedUntil benchmarks the P2 procedure (duality +
 // transient analysis) behind property Q1.
 func BenchmarkQ1RewardBoundedUntil(b *testing.B) {
+	b.ReportAllocs()
 	m, err := adhoc.Model()
 	if err != nil {
 		b.Fatal(err)
@@ -153,6 +159,7 @@ func BenchmarkQ1RewardBoundedUntil(b *testing.B) {
 // BenchmarkQ2TimeBoundedUntil benchmarks the P1 procedure (transient
 // analysis of the transformed MRM) behind property Q2.
 func BenchmarkQ2TimeBoundedUntil(b *testing.B) {
+	b.ReportAllocs()
 	m, err := adhoc.Model()
 	if err != nil {
 		b.Fatal(err)
@@ -177,6 +184,7 @@ func BenchmarkQ3FullChecker(b *testing.B) {
 	f := logic.MustParse("P>0.5 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]")
 	for _, alg := range []core.Algorithm{core.AlgSericola, core.AlgErlang, core.AlgDiscretise} {
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := core.DefaultOptions()
 			opts.P3 = alg
 			opts.Epsilon = 1e-8
@@ -223,6 +231,7 @@ func BenchmarkParallelWorkers(b *testing.B) {
 			workers int
 		}{{"workers=1", 1}, {"workers=all", 0}} {
 			b.Run(bench.name+"/"+w.label, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if err := bench.run(w.workers); err != nil {
 						b.Fatal(err)
@@ -240,6 +249,7 @@ func BenchmarkParallelWorkers(b *testing.B) {
 func BenchmarkAblationPoissonWeights(b *testing.B) {
 	const q = 468 // λt of the case study
 	b.Run("fox-glynn", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := numeric.FoxGlynn(q, 1e-12); err != nil {
 				b.Fatal(err)
@@ -247,6 +257,7 @@ func BenchmarkAblationPoissonWeights(b *testing.B) {
 		}
 	})
 	b.Run("naive-pmf", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			n, err := numeric.PoissonTruncation(q, 1e-12)
 			if err != nil {
@@ -278,6 +289,7 @@ func BenchmarkAblationBackwardVsForwardUntil(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("backward-single-sweep", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := transient.TimeBoundedUntil(m, phi, psi, 24, transient.DefaultOptions()); err != nil {
 				b.Fatal(err)
@@ -285,6 +297,7 @@ func BenchmarkAblationBackwardVsForwardUntil(b *testing.B) {
 		}
 	})
 	b.Run("forward-per-state", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for s := 0; s < m.N(); s++ {
 				init := make([]float64, m.N())
@@ -324,12 +337,14 @@ func BenchmarkAblationSparseVsDenseMatVec(b *testing.B) {
 		x[i] = 1 / float64(n)
 	}
 	b.Run("sparse-csr", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p.MulVec(y, x)
 		}
 	})
 	dense := p.Dense()
 	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for r := 0; r < n; r++ {
 				var s float64
@@ -368,6 +383,7 @@ func BenchmarkAblationSolvers(b *testing.B) {
 	opts := numeric.DefaultSolveOptions()
 	opts.Tolerance = 1e-10
 	b.Run("gauss-seidel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := numeric.SolveGaussSeidel(a, rhs, opts); err != nil {
 				b.Fatal(err)
@@ -375,6 +391,7 @@ func BenchmarkAblationSolvers(b *testing.B) {
 		}
 	})
 	b.Run("jacobi", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := numeric.SolveJacobi(a, rhs, opts); err != nil {
 				b.Fatal(err)
@@ -423,6 +440,7 @@ func BenchmarkAblationLumping(b *testing.B) {
 	opts := core.DefaultOptions()
 	opts.Epsilon = 1e-7
 	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
 		c := core.New(m, opts)
 		for i := 0; i < b.N; i++ {
 			if _, err := c.Values(formula); err != nil {
@@ -431,6 +449,7 @@ func BenchmarkAblationLumping(b *testing.B) {
 		}
 	})
 	b.Run("lump-then-check", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := lump.QuotientRespecting(m, []string{"qos", "pristine"})
 			if err != nil {
@@ -451,6 +470,7 @@ func BenchmarkAblationLumping(b *testing.B) {
 // traversal per package, so this tracks the marginal cost of new analyzers
 // staying well below the cost of another full AST walk each.
 func BenchmarkLintModule(b *testing.B) {
+	b.ReportAllocs()
 	loader, err := lint.NewLoader(".")
 	if err != nil {
 		b.Fatal(err)

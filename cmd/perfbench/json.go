@@ -1,0 +1,231 @@
+package main
+
+// The -json / -baseline modes give the repository a machine-readable
+// performance trail: -json re-times the paper's procedures with
+// testing.Benchmark (ns/op, allocs/op, B/op per procedure and knob) and
+// writes a BENCH_PR4.json-style report; -baseline compares a fresh run
+// against a stored report and fails loudly on regressions, so CI can keep
+// the goal-column slicing, steady-state detection and pooling honest.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/performability/csrl/internal/adhoc"
+	"github.com/performability/csrl/internal/discretise"
+	"github.com/performability/csrl/internal/erlang"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/sericola"
+	"github.com/performability/csrl/internal/sparse"
+	"github.com/performability/csrl/internal/transient"
+)
+
+// Regression thresholds for -baseline: a workload may not get more than 20%
+// slower or allocate more than 10% more per op than the stored report.
+const (
+	timeRegressionFactor  = 1.20
+	allocRegressionFactor = 1.10
+	// allocSlack ignores regressions below this absolute allocs/op level:
+	// ratios of tiny counts (3 vs 2 allocations) are noise, not regressions.
+	allocSlack = 16
+)
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Records   []benchRecord `json:"records"`
+}
+
+type benchWorkload struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// workloads assembles the benchmark matrix: each of the paper's procedures
+// with the PR's knobs contrasted — goal-column slicing + pooling against
+// the historical full-width unpooled path, and steady-state detection on
+// against off. The "/sliced-pooled" vs "/fullwidth-unpooled" pair under
+// Table2Sericola is the acceptance contrast (≥2× time, ≥4× allocs).
+func workloads(m *mrm.MRM, goal *mrm.StateSet, workers int) []benchWorkload {
+	tb, rb := adhoc.Q3TimeBound, adhoc.Q3PaperRewardBound
+	pool := sparse.NewVecPool()
+	var list []benchWorkload
+	add := func(name string, fn func() error) {
+		list = append(list, benchWorkload{name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+
+	for _, eps := range []float64{1e-4, 1e-8} {
+		eps := eps
+		add(fmt.Sprintf("Table2Sericola/eps=%.0e/sliced-pooled", eps), func() error {
+			_, err := sericola.ReachProbAll(m, goal, tb, rb, sericola.Options{
+				Epsilon: eps, Lambda: adhoc.PaperLambda, Workers: workers, Pool: pool,
+			})
+			return err
+		})
+		add(fmt.Sprintf("Table2Sericola/eps=%.0e/fullwidth-unpooled", eps), func() error {
+			_, err := sericola.ReachProbAll(m, goal, tb, rb, sericola.Options{
+				Epsilon: eps, Lambda: adhoc.PaperLambda, Workers: workers, FullWidth: true,
+			})
+			return err
+		})
+	}
+
+	for _, steady := range []struct {
+		label string
+		mode  transient.SteadyMode
+	}{{"on", transient.SteadyOn}, {"off", transient.SteadyOff}} {
+		steady := steady
+		add("TransientReach/t=24/steady="+steady.label, func() error {
+			_, err := transient.ReachProbAll(m, goal, tb, transient.Options{
+				Epsilon: 1e-12, Workers: workers, SteadyDetect: steady.mode, Pool: pool,
+			})
+			return err
+		})
+		add("Table3Erlang/k=256/steady="+steady.label, func() error {
+			_, err := erlang.ReachProbAll(m, goal, tb, rb, erlang.Options{
+				K: 256,
+				Transient: transient.Options{
+					Epsilon: 1e-12, Workers: workers, SteadyDetect: steady.mode, Pool: pool,
+				},
+			})
+			return err
+		})
+	}
+
+	add("Table4Discretise/d=1over32/pooled", func() error {
+		_, err := discretise.ReachProb(m, goal, tb, rb, m.InitialState(), discretise.Options{
+			D: 1.0 / 32, Workers: workers, Pool: pool,
+		})
+		return err
+	})
+	add("Table4Discretise/d=1over32/unpooled", func() error {
+		_, err := discretise.ReachProb(m, goal, tb, rb, m.InitialState(), discretise.Options{
+			D: 1.0 / 32, Workers: workers,
+		})
+		return err
+	})
+	return list
+}
+
+// benchJSON runs the workload matrix, writes the report to jsonPath (when
+// non-empty) and compares against baselinePath (when non-empty), returning
+// an error that lists every regression beyond the thresholds.
+func benchJSON(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, jsonPath, baselinePath string, workers int) error {
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	matrix := workloads(m, goal, workers)
+	fmt.Fprintf(w, "Benchmark matrix (procedure × knob), %d workloads\n\n", len(matrix))
+	fmt.Fprintf(w, "  %-44s %14s %12s %12s\n", "workload", "ns/op", "allocs/op", "B/op")
+	for _, wl := range matrix {
+		r := testing.Benchmark(wl.fn)
+		rec := benchRecord{
+			Name:        wl.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		report.Records = append(report.Records, rec)
+		fmt.Fprintf(w, "  %-44s %14.0f %12d %12d\n", rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
+	}
+	fmt.Fprintln(w)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		encErr := enc.Encode(report)
+		if closeErr := f.Close(); encErr == nil {
+			encErr = closeErr
+		}
+		if encErr != nil {
+			return encErr
+		}
+		fmt.Fprintf(w, "wrote %d benchmark records to %s\n", len(report.Records), jsonPath)
+	}
+	if baselinePath != "" {
+		return compareBaseline(w, report, baselinePath)
+	}
+	return nil
+}
+
+// compareBaseline checks the fresh report against a stored one, record by
+// record (matched by name; workloads missing on either side are reported
+// but not fatal), and fails on >20% time or >10% alloc regressions.
+func compareBaseline(w io.Writer, report benchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseByName := make(map[string]benchRecord, len(base.Records))
+	for _, r := range base.Records {
+		baseByName[r.Name] = r
+	}
+	var regressions []string
+	fmt.Fprintf(w, "Baseline comparison against %s\n\n", path)
+	for _, rec := range report.Records {
+		old, ok := baseByName[rec.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-44s new workload, no baseline\n", rec.Name)
+			continue
+		}
+		delete(baseByName, rec.Name)
+		timeRatio := rec.NsPerOp / old.NsPerOp
+		fmt.Fprintf(w, "  %-44s time ×%.2f  allocs %d → %d\n", rec.Name, timeRatio, old.AllocsPerOp, rec.AllocsPerOp)
+		if timeRatio > timeRegressionFactor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (×%.2f > ×%.2f)", rec.Name, rec.NsPerOp, old.NsPerOp, timeRatio, timeRegressionFactor))
+		}
+		if rec.AllocsPerOp > allocSlack && float64(rec.AllocsPerOp) > allocRegressionFactor*float64(old.AllocsPerOp) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op vs baseline %d (> ×%.2f)", rec.Name, rec.AllocsPerOp, old.AllocsPerOp, allocRegressionFactor))
+		}
+	}
+	leftover := make([]string, 0, len(baseByName))
+	for name := range baseByName {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		fmt.Fprintf(w, "  %-44s present in baseline only\n", name)
+	}
+	fmt.Fprintln(w)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(w, "  REGRESSION:", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(regressions), path)
+	}
+	fmt.Fprintln(w, "  no regressions beyond thresholds")
+	return nil
+}

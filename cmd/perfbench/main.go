@@ -47,17 +47,19 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
 	var (
-		table   = fs.Int("table", 0, "regenerate table 1-4")
-		figure  = fs.Int("figure", 0, "regenerate figure 1-2")
-		q       = fs.Int("q", 0, "check property Q1-Q3")
-		all     = fs.Bool("all", false, "regenerate everything")
-		rBound  = fs.Float64("r", adhoc.Q3PaperRewardBound, "reward bound for the Q3 path formula (mAh)")
-		tBound  = fs.Float64("t", adhoc.Q3TimeBound, "time bound for the Q3 path formula (hours)")
-		paths   = fs.Int("paths", 5, "trajectories for -figure 1")
-		seed    = fs.Int64("seed", 1, "simulation seed")
-		dump    = fs.String("dump-model", "", "write the case-study MRM as JSON to this path and exit")
-		workers = fs.Int("workers", 0, "worker goroutines for the numerical procedures (0 = all CPUs, 1 = sequential)")
-		compare = fs.Bool("compare", false, "time one workload sequentially and in parallel and report the speedup")
+		table    = fs.Int("table", 0, "regenerate table 1-4")
+		figure   = fs.Int("figure", 0, "regenerate figure 1-2")
+		q        = fs.Int("q", 0, "check property Q1-Q3")
+		all      = fs.Bool("all", false, "regenerate everything")
+		rBound   = fs.Float64("r", adhoc.Q3PaperRewardBound, "reward bound for the Q3 path formula (mAh)")
+		tBound   = fs.Float64("t", adhoc.Q3TimeBound, "time bound for the Q3 path formula (hours)")
+		paths    = fs.Int("paths", 5, "trajectories for -figure 1")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		dump     = fs.String("dump-model", "", "write the case-study MRM as JSON to this path and exit")
+		workers  = fs.Int("workers", 0, "worker goroutines for the numerical procedures (0 = all CPUs, 1 = sequential)")
+		compare  = fs.Bool("compare", false, "time one workload sequentially and in parallel and report the speedup")
+		jsonPath = fs.String("json", "", "run the benchmark matrix and write a BENCH_PR4.json-style report to this path")
+		baseline = fs.String("baseline", "", "compare the benchmark matrix against this stored report; exit non-zero on >20% time or >10% alloc regressions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,9 +67,9 @@ func run(args []string, w io.Writer) error {
 	if *dump != "" {
 		return dumpModel(w, *dump)
 	}
-	if !*all && !*compare && *table == 0 && *figure == 0 && *q == 0 {
+	if !*all && !*compare && *table == 0 && *figure == 0 && *q == 0 && *jsonPath == "" && *baseline == "" {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -table, -figure, -q, -compare or -all")
+		return fmt.Errorf("nothing to do: pass -table, -figure, -q, -compare, -json, -baseline or -all")
 	}
 
 	red, err := adhoc.Q3Reduced()
@@ -79,6 +81,11 @@ func run(args []string, w io.Writer) error {
 
 	if *compare {
 		if err := compareWorkload(w, red.Model, goal, *workers); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" || *baseline != "" {
+		if err := benchJSON(w, red.Model, goal, *jsonPath, *baseline, *workers); err != nil {
 			return err
 		}
 	}

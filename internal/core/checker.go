@@ -78,6 +78,10 @@ type Options struct {
 	// Workers bounds the parallelism of the numerical procedures:
 	// 0 = runtime.NumCPU(), 1 = the exact sequential legacy path.
 	Workers int
+	// SteadyDetect controls steady-state detection in all uniformisation
+	// sweeps (see transient.Options.SteadyDetect). The zero value is on;
+	// SteadyOff restores the full Fox–Glynn summation.
+	SteadyDetect transient.SteadyMode
 	// Solve configures the linear solver for unbounded until and
 	// steady-state computations.
 	Solve numeric.SolveOptions
@@ -107,6 +111,12 @@ type Checker struct {
 	// untilRectangle. All memo methods tolerate a nil receiver, so a
 	// zero Checker literal degrades to uncached computation.
 	memo *memo
+	// pool recycles the scratch vectors, Sericola matrix banks and
+	// discretisation grids of the numerical procedures across calls — in
+	// particular across the four corner evaluations of untilRectangle.
+	// VecPool is nil-receiver-safe, so a zero Checker literal degrades to
+	// plain allocation.
+	pool *sparse.VecPool
 }
 
 // New creates a checker for the given model.
@@ -120,7 +130,7 @@ func New(m *mrm.MRM, opts Options) *Checker {
 	if opts.ErlangK <= 0 {
 		opts.ErlangK = 256
 	}
-	return &Checker{m: m, opts: opts, memo: newMemo()}
+	return &Checker{m: m, opts: opts, memo: newMemo(), pool: sparse.NewVecPool()}
 }
 
 // Model returns the checker's model.
@@ -372,7 +382,12 @@ func (c *Checker) probUntil(u logic.Until) ([]float64, error) {
 }
 
 func (c *Checker) transientOpts() transient.Options {
-	opts := transient.Options{Epsilon: c.opts.Epsilon, Workers: c.opts.Workers}
+	opts := transient.Options{
+		Epsilon:      c.opts.Epsilon,
+		Workers:      c.opts.Workers,
+		SteadyDetect: c.opts.SteadyDetect,
+		Pool:         c.pool,
+	}
 	if c.memo != nil {
 		// Guarded: wrapping a nil *memo in the interface would yield a
 		// non-nil transient.Cache whose methods still work (nil-receiver
@@ -570,9 +585,11 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 			cache = c.memo
 		}
 		res, err := sericola.ReachProbAll(red.Model, goal, t, r, sericola.Options{
-			Epsilon: c.opts.Epsilon,
-			Workers: c.opts.Workers,
-			Cache:   cache,
+			Epsilon:      c.opts.Epsilon,
+			Workers:      c.opts.Workers,
+			SteadyDetect: c.opts.SteadyDetect,
+			Cache:        cache,
+			Pool:         c.pool,
 		})
 		if err != nil {
 			return nil, err
@@ -602,6 +619,7 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 		values, err = discretise.ReachProbAll(red.Model, goal, t, r, discretise.Options{
 			D:       d,
 			Workers: c.opts.Workers,
+			Pool:    c.pool,
 		})
 		if err != nil {
 			return nil, err
@@ -613,6 +631,9 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 	for s := range out {
 		out[s] = values[red.StateMap[s]]
 	}
+	// The reduced-model vector is dead once mapped back; feed it to the
+	// pool so the next corner evaluation of untilRectangle reuses it.
+	c.pool.Put(values)
 	return out, nil
 }
 

@@ -48,6 +48,12 @@ type Options struct {
 	// 1 = the exact sequential legacy path. The per-state loop writes only
 	// state-owned rows, so results are bitwise independent of Workers.
 	Workers int
+	// Pool, when non-nil, supplies the n·(R+1) recursion grids. Each
+	// worker of the ReachProbAll fan-out checks its grids out at the start
+	// of its chunk and back in at the end — never across the parallel
+	// region boundary — so the |S| per-source runs stop allocating fresh
+	// grids per source.
+	Pool *sparse.VecPool
 }
 
 var (
@@ -106,39 +112,52 @@ func ScaleRewards(m *mrm.MRM, r, factor float64) (*mrm.MRM, float64, error) {
 	return scaled, r * factor, nil
 }
 
-// ReachProb computes the Theorem 2 quantity Pr{Y_t ≤ r, X_t ∈ goal}
-// starting from the single initial state `from`, by the Tijms–Veldman
-// recursion with step opts.D. t and r must be (near-)multiples of d.
-func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Options) (float64, error) {
+// prepared carries the source-independent precomputation of the recursion:
+// validated grid dimensions, integer rewards, stay factors, the transposed
+// rate matrix and the integer impulse shifts. Building it once and running
+// it from many sources is what makes the |S|-source fan-out of
+// ReachProbAll cheap — the transpose and the validation used to be redone
+// per source.
+type prepared struct {
+	m       *mrm.MRM
+	goal    *mrm.StateSet
+	n, T, R int
+	d       float64
+	rho     []int
+	stay    []float64
+	rt      *sparse.CSR
+	impulse map[[2]int]int
+	workers int
+}
+
+// prepare validates the inputs and assembles the source-independent state.
+func prepare(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*prepared, error) {
 	n := m.N()
-	if from < 0 || from >= n {
-		return 0, fmt.Errorf("discretise: initial state %d out of range", from)
-	}
 	if goal.Universe() != n {
-		return 0, fmt.Errorf("discretise: goal universe %d for %d states", goal.Universe(), n)
+		return nil, fmt.Errorf("discretise: goal universe %d for %d states", goal.Universe(), n)
 	}
 	d := opts.D
 	if d <= 0 {
-		return 0, fmt.Errorf("%w: d=%v", ErrStep, d)
+		return nil, fmt.Errorf("%w: d=%v", ErrStep, d)
 	}
 	if t <= 0 || r <= 0 {
-		return 0, fmt.Errorf("discretise: bounds t=%v r=%v must be positive", t, r)
+		return nil, fmt.Errorf("discretise: bounds t=%v r=%v must be positive", t, r)
 	}
 	T, okT := asNatural(t / d)
 	R, okR := asNatural(r / d)
 	if !okT || !okR || T == 0 || R == 0 {
-		return 0, fmt.Errorf("%w: t/d=%v and r/d=%v must be positive integers", ErrStep, t/d, r/d)
+		return nil, fmt.Errorf("%w: t/d=%v and r/d=%v must be positive integers", ErrStep, t/d, r/d)
 	}
 
 	rho := make([]int, n)
 	for s := 0; s < n; s++ {
 		v, ok := asNatural(m.Reward(s))
 		if !ok {
-			return 0, fmt.Errorf("%w: ρ(%d)=%v", ErrRewards, s, m.Reward(s))
+			return nil, fmt.Errorf("%w: ρ(%d)=%v", ErrRewards, s, m.Reward(s))
 		}
 		rho[s] = v
 		if m.ExitRate(s)*d > 1 && !opts.AllowCoarse {
-			return 0, fmt.Errorf("%w: d=%v exceeds 1/E(%d)=%v (set AllowCoarse to force)", ErrStep, d, s, 1/m.ExitRate(s))
+			return nil, fmt.Errorf("%w: d=%v exceeds 1/E(%d)=%v (set AllowCoarse to force)", ErrStep, d, s, 1/m.ExitRate(s))
 		}
 	}
 
@@ -154,7 +173,7 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Opti
 	var impulse map[[2]int]int
 	if impulseMat != nil {
 		if impulseMat.Dim() != n {
-			return 0, fmt.Errorf("discretise: impulse matrix dimension %d for %d states", impulseMat.Dim(), n)
+			return nil, fmt.Errorf("discretise: impulse matrix dimension %d for %d states", impulseMat.Dim(), n)
 		}
 		impulse = make(map[[2]int]int)
 		var impErr error
@@ -169,7 +188,7 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Opti
 			}
 		})
 		if impErr != nil {
-			return 0, impErr
+			return nil, impErr
 		}
 	}
 
@@ -180,14 +199,59 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Opti
 		stay[s] = 1 - m.ExitRate(s)*d
 	}
 
-	// F[s][k], k = 0..R. F is a density in the reward dimension (1/d
-	// scaling), exactly as in the paper.
-	cur := make([][]float64, n)
-	next := make([][]float64, n)
-	for s := 0; s < n; s++ {
-		cur[s] = make([]float64, R+1)
-		next[s] = make([]float64, R+1)
+	workers := opts.Workers
+	if n*(R+1) < recursionGrain {
+		workers = 1
 	}
+	return &prepared{
+		m: m, goal: goal, n: n, T: T, R: R, d: d,
+		rho: rho, stay: stay, rt: rt, impulse: impulse, workers: workers,
+	}, nil
+}
+
+// scratch holds the two recursion grids of one run, as row views over flat
+// pool-sized buffers so they can be checked out and in as two Gets/Puts.
+type scratch struct {
+	curFlat, nextFlat []float64
+	cur, next         [][]float64
+}
+
+// newScratch checks a grid pair out of pool (nil-safe).
+func (p *prepared) newScratch(pool *sparse.VecPool) *scratch {
+	stride := p.R + 1
+	sc := &scratch{
+		curFlat:  pool.Get(p.n * stride),
+		nextFlat: pool.Get(p.n * stride),
+		cur:      make([][]float64, p.n),
+		next:     make([][]float64, p.n),
+	}
+	for s := 0; s < p.n; s++ {
+		sc.cur[s] = sc.curFlat[s*stride : (s+1)*stride]
+		sc.next[s] = sc.nextFlat[s*stride : (s+1)*stride]
+	}
+	return sc
+}
+
+// release checks the grid pair back in.
+func (sc *scratch) release(pool *sparse.VecPool) {
+	pool.Put(sc.curFlat)
+	pool.Put(sc.nextFlat)
+}
+
+// reachProb runs the recursion from the single initial state `from`,
+// reusing sc across calls. The arithmetic per (state, reward index) is
+// identical to the historical per-source implementation, so results are
+// bitwise unchanged and independent of both Workers and scratch reuse.
+func (p *prepared) reachProb(from int, sc *scratch) float64 {
+	// F[s][k], k = 0..R. F is a density in the reward dimension (1/d
+	// scaling), exactly as in the paper. The cur grid carries the previous
+	// run's values when the scratch is reused: clear it. The next grid
+	// needs no clearing — every step fully overwrites each row before
+	// accumulating into it.
+	for i := range sc.curFlat {
+		sc.curFlat[i] = 0
+	}
+	cur, next := sc.cur, sc.next
 	// Initialisation convention (audited against the Sericola procedure and
 	// the paper's Table 4; see TestConventionPinned): the state below is F¹,
 	// not F⁰ — the first time step is charged up front and approximated as
@@ -204,8 +268,8 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Opti
 	// F⁰-init with T steps coincide exactly — the extra shift and the extra
 	// step cancel — so the loop bound below is only "off by one" relative
 	// to a different, inferior initialisation convention.
-	if rho[from] <= R {
-		cur[from][rho[from]] = 1 / d
+	if p.rho[from] <= p.R {
+		cur[from][p.rho[from]] = 1 / p.d
 	}
 	// If the very first step already exceeds the reward bound, the mass is
 	// absorbed by the barrier immediately and the probability is 0.
@@ -214,16 +278,13 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Opti
 	// cur (immutable within a step), so partitioning states across workers
 	// preserves the sequential arithmetic order per state: results are
 	// bitwise identical for every workers value.
-	workers := opts.Workers
-	if n*(R+1) < recursionGrain {
-		workers = 1
-	}
-	for j := 1; j < T; j++ {
-		parallel.For(workers, n, func(lo, hi int) {
+	R := p.R
+	for j := 1; j < p.T; j++ {
+		parallel.For(p.workers, p.n, func(lo, hi int) {
 			for s := lo; s < hi; s++ {
 				fs := next[s]
-				shift := rho[s]
-				sStay := stay[s]
+				shift := p.rho[s]
+				sStay := p.stay[s]
 				curS := cur[s]
 				for k := 0; k <= R; k++ {
 					var v float64
@@ -232,11 +293,11 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Opti
 					}
 					fs[k] = v
 				}
-				rt.Row(s, func(src int, rate float64) {
-					w := rate * d
-					shiftSrc := rho[src]
-					if impulse != nil {
-						if imp, ok := impulse[[2]int{src, s}]; ok {
+				p.rt.Row(s, func(src int, rate float64) {
+					w := rate * p.d
+					shiftSrc := p.rho[src]
+					if p.impulse != nil {
+						if imp, ok := p.impulse[[2]int{src, s}]; ok {
 							shiftSrc += imp
 						}
 					}
@@ -251,35 +312,56 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Opti
 	}
 
 	var sum float64
-	goal.Each(func(s int) {
+	p.goal.Each(func(s int) {
 		for k := 0; k <= R; k++ {
 			sum += cur[s][k]
 		}
 	})
-	return sum * d, nil
+	return sum * p.d
 }
 
-// ReachProbAll runs ReachProb from every state. Because the recursion is a
+// ReachProb computes the Theorem 2 quantity Pr{Y_t ≤ r, X_t ∈ goal}
+// starting from the single initial state `from`, by the Tijms–Veldman
+// recursion with step opts.D. t and r must be (near-)multiples of d.
+func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Options) (float64, error) {
+	if from < 0 || from >= m.N() {
+		return 0, fmt.Errorf("discretise: initial state %d out of range", from)
+	}
+	p, err := prepare(m, goal, t, r, opts)
+	if err != nil {
+		return 0, err
+	}
+	sc := p.newScratch(opts.Pool)
+	v := p.reachProb(from, sc)
+	sc.release(opts.Pool)
+	return v, nil
+}
+
+// ReachProbAll runs the recursion from every state. Because it is a
 // forward propagation from a point mass, this costs |S| independent runs;
-// they are embarrassingly parallel and fan out across opts.Workers. Each
-// per-source run is forced sequential (Workers: 1) — the fan-out already
-// saturates the pool, and run-level parallelism keeps the arithmetic of
-// every run identical to the sequential path.
+// they are embarrassingly parallel and fan out across opts.Workers, with
+// the source-independent precomputation (validation, rate transpose,
+// reward classification) shared by all of them. Each per-source run is
+// forced sequential (Workers: 1) — the fan-out already saturates the pool,
+// and run-level parallelism keeps the arithmetic of every run identical to
+// the sequential path. Each fan-out worker reuses one scratch grid pair
+// across all sources of its chunk, checked out of opts.Pool inside the
+// chunk, so the fan-out no longer allocates n·(R+1) floats per source.
 func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) ([]float64, error) {
-	n := m.N()
-	out := make([]float64, n)
 	inner := opts
 	inner.Workers = 1
-	errs := make([]error, n)
-	parallel.For(opts.Workers, n, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			out[s], errs[s] = ReachProb(m, goal, t, r, s, inner)
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	p, err := prepare(m, goal, t, r, inner)
+	if err != nil {
+		return nil, err
 	}
+	n := m.N()
+	out := make([]float64, n)
+	parallel.For(opts.Workers, n, func(lo, hi int) {
+		sc := p.newScratch(opts.Pool)
+		for s := lo; s < hi; s++ {
+			out[s] = p.reachProb(s, sc)
+		}
+		sc.release(opts.Pool)
+	})
 	return out, nil
 }

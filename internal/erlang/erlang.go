@@ -102,9 +102,12 @@ type Options struct {
 	K int
 	// Transient configures the inner uniformisation; its Workers field
 	// also sets the parallelism of this procedure (the expanded |S|·k+1
-	// model makes the uniformisation sweeps the entire cost). Leave its
-	// Cache nil: the expansion is a fresh model per call, so a
-	// pointer-keyed matrix cache can never hit.
+	// model makes the uniformisation sweeps the entire cost), and its
+	// SteadyDetect and Pool fields flow straight through — steady-state
+	// detection pays off particularly well here, since the absorbing
+	// barrier makes long sweeps converge before the Fox–Glynn window
+	// closes. Leave its Cache nil: the expansion is a fresh model per
+	// call, so a pointer-keyed matrix cache can never hit.
 	Transient transient.Options
 }
 
@@ -137,6 +140,9 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) ([
 	for s := range out {
 		out[s] = all[e.StateIndex(s, 0)]
 	}
+	// The (|S|·k+1)-sized expansion vector is pool-born when a pool is
+	// configured and dead once projected; check it back in.
+	opts.Transient.Pool.Put(all)
 	return out, nil
 }
 

@@ -63,6 +63,26 @@ func BinomialPMF(lf []float64, n, k int, x float64) float64 {
 		float64(k)*math.Log(x) + float64(n-k)*math.Log1p(-x))
 }
 
+// BinomialRow fills dst[k] = BinomialPMF(lf, n, k, x) for 0 ≤ k ≤ n. Entry
+// for entry it evaluates the identical log-domain expression as
+// BinomialPMF — results are bitwise equal — but hoists log(x) and
+// log1p(-x) out of the loop, which matters to callers that need whole rows
+// per uniformisation level (the Sericola recursion evaluates O(N²) terms).
+func BinomialRow(lf []float64, n int, x float64, dst []float64) {
+	//lint:ignore floatcmp degenerate success probability is set exactly by callers; the general branch handles x in (0,1)
+	if x == 0 || x == 1 {
+		for k := 0; k <= n; k++ {
+			dst[k] = BinomialPMF(lf, n, k, x)
+		}
+		return
+	}
+	lx, l1x := math.Log(x), math.Log1p(-x)
+	for k := 0; k <= n; k++ {
+		dst[k] = math.Exp(lf[n] - lf[k] - lf[n-k] +
+			float64(k)*lx + float64(n-k)*l1x)
+	}
+}
+
 // PoissonPMFTable returns pmf(n) = e^{-q}·q^n/n! for 0 ≤ n ≤ nMax as a
 // closure over a precomputed log-factorial table and cached ln(q) — the
 // per-call cost on hot uniformisation loops is one Exp. Arguments outside

@@ -15,6 +15,13 @@
 // 0 ≤ C(h,n,k) ≤ Pⁿ (Sericola, Cor. 5.8), so the inner sum is bounded by 1
 // and the Poisson tail yields the a-priori truncation point N_ε — the only
 // one of the paper's three procedures with an a-priori error bound.
+//
+// Theorem 2 of the paper only ever reads the goal-set columns of H, so the
+// recursion is carried on n×g slices (g = |goal|) rather than full n×n
+// matrices: the up/down sweeps are row-local and the P·C products act
+// column-wise, making the restriction exact — entry for entry, the sliced
+// path performs the identical arithmetic as the full-width one (see
+// Options.FullWidth and the crosscheck suite).
 package sericola
 
 import (
@@ -24,6 +31,7 @@ import (
 	"github.com/performability/csrl/internal/numeric"
 	"github.com/performability/csrl/internal/parallel"
 	"github.com/performability/csrl/internal/sparse"
+	"github.com/performability/csrl/internal/transient"
 )
 
 // Cache memoises uniformised matrices and Fox–Glynn tables across calls.
@@ -46,13 +54,35 @@ type Options struct {
 	// runs in the sequential order, so results are bitwise independent of
 	// Workers.
 	Workers int
+	// FullWidth forces the recursion to carry all n columns instead of only
+	// the g goal columns. The sliced default performs the identical
+	// arithmetic on the goal columns, so results are bitwise equal; the
+	// knob exists for that crosscheck and for the perfbench contrast, not
+	// for production use.
+	FullWidth bool
+	// SteadyDetect is forwarded to the transient fallback taken when the
+	// reward bound is vacuous (see transient.Options.SteadyDetect); the
+	// C(h,n,k) recursion itself always runs to its a-priori truncation
+	// point N_ε.
+	SteadyDetect transient.SteadyMode
 	// Cache, when non-nil, memoises the uniformised matrix and the
 	// Poisson weight table.
 	Cache Cache
+	// Pool, when non-nil, supplies the n×g matrix banks of the recursion
+	// and the scratch of the transient fallback. All bank buffers are
+	// checked back in before ReachProbAll returns; the result vector is a
+	// plain allocation owned by the caller.
+	Pool *sparse.VecPool
 }
 
 // DefaultOptions matches the most accurate row of Table 2.
 func DefaultOptions() Options { return Options{Epsilon: 1e-8} }
+
+// clampTol is the symmetric tolerance for floating-point cancellation in
+// the final goal-column sums: values inside [−clampTol, 0) and
+// (1, 1+clampTol] are clamped to the nearest bound, values further outside
+// [0,1] are reported as a numerical failure instead of silently returned.
+const clampTol = 1e-9
 
 // Result carries the reachability values and the number of uniformisation
 // steps N that were needed (column "N" of Table 2).
@@ -155,21 +185,51 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 	}
 	lf := numeric.LogFactorials(nSteps)
 
-	hMat, tMat := run(p, rho, shifted, h, x, poisPMF, lf, nSteps, opts.Workers)
+	// Goal-column slicing: the recursion only needs the columns Theorem 2
+	// reads. FullWidth carries every column for the bitwise crosscheck.
+	goalIdx := goal.Slice()
+	cols := goalIdx
+	if opts.FullWidth {
+		cols = make([]int, n)
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	g := len(cols)
+
+	hMat, tMat := run(p, rho, shifted, h, x, poisPMF, lf, nSteps, opts.Workers, cols, opts.Pool)
 
 	res := &Result{Values: make([]float64, n), N: nSteps}
-	goalIdx := goal.Slice()
 	for i := 0; i < n; i++ {
 		var v float64
-		for _, j := range goalIdx {
-			v += tMat[i*n+j] - hMat[i*n+j]
+		for j, col := range cols {
+			// In sliced mode every carried column is a goal column; in
+			// full-width mode restrict the sum to them, in the same
+			// ascending order, so both paths add the identical terms.
+			if opts.FullWidth && !goal.Contains(col) {
+				continue
+			}
+			v += tMat[i*g+j] - hMat[i*g+j]
 		}
-		// Clamp tiny negative values from floating-point cancellation.
-		if v < 0 && v > -1e-12 {
+		// Floating-point cancellation can land slightly outside [0,1] on
+		// either side; clamp symmetrically within clampTol and refuse to
+		// return silently wrong probabilities beyond it.
+		switch {
+		case v < 0:
+			if v < -clampTol {
+				return nil, fmt.Errorf("sericola: value %g at state %d is below 0 beyond the %g cancellation tolerance", v, i, clampTol)
+			}
 			v = 0
+		case v > 1:
+			if v > 1+clampTol {
+				return nil, fmt.Errorf("sericola: value %g at state %d exceeds 1 beyond the %g cancellation tolerance", v, i, clampTol)
+			}
+			v = 1
 		}
 		res.Values[i] = v
 	}
+	opts.Pool.Put(hMat)
+	opts.Pool.Put(tMat)
 	return res, nil
 }
 
@@ -187,13 +247,21 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (floa
 	return v, res.N, nil
 }
 
-// runGrain is the minimum matrix size n² before the per-level row sweeps
+// runGrain is the minimum matrix size n·g before the per-level row sweeps
 // fan out across workers.
 const runGrain = 2048
 
-// run executes the C(h,n,k) recursion and returns (H, Pois-weighted
-// transient matrix), both flattened row-major n×n. poisPMF and lf are the
+// run executes the C(h,n,k) recursion restricted to the given column set
+// and returns (H, Pois-weighted transient matrix), both flattened row-major
+// n×g with column j holding original column cols[j]. poisPMF and lf are the
 // precomputed Poisson pmf and log-factorial tables covering 0..nSteps.
+//
+// Column slicing is exact: every operation of the recursion — the PC
+// products (P·C)[i,j] = Σ_l P[i,l]·C[l,j], the Pⁿ update, the up/down
+// convex-combination sweeps and the hMat/tMat accumulation — computes
+// entry (i,j) from column-j entries only, so restricting to the goal
+// columns performs, entry for entry, the identical floating-point
+// operations in the identical order as the full-width recursion.
 //
 // Concurrency: the whole per-level computation is row-independent. For a
 // fixed row i, the PC products and the Pⁿ update read only the previous
@@ -206,10 +274,17 @@ const runGrain = 2048
 // region over contiguous row ranges, with every row computed in the
 // sequential order — results are bitwise identical for every workers
 // value.
-func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF func(int) float64, lf []float64, nSteps, workers int) (hMat, tMat []float64) {
+//
+// Allocation: every n×g buffer is checked out of pool (nil-safe). The
+// leased bank buffers are checked back in before run returns — always by
+// the goroutine that owns the sequential bank bookkeeping, never inside
+// the parallel region; only the returned hMat/tMat stay checked out, and
+// ReachProbAll returns those after summing.
+func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF func(int) float64, lf []float64, nSteps, workers int, cols []int, pool *sparse.VecPool) (hMat, tMat []float64) {
 	n := p.Dim()
+	g := len(cols)
 	mBands := len(bands) - 1
-	if n*n < runGrain {
+	if n*g < runGrain {
 		workers = 1
 	}
 
@@ -223,8 +298,21 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 		}
 	}
 
-	sz := n * n
-	newMat := func() []float64 { return make([]float64, sz) }
+	sz := n * g
+	// All n×g buffers of the recursion are carved out of one pooled slab.
+	// The live set is known upfront — per band, the PC products hold one
+	// buffer per level and the two rotating C banks grow to nSteps+1
+	// buffers each, plus Pⁿ and its predecessor — so a single Get covers
+	// the whole recursion and one Put checks it back in, regardless of how
+	// the bank rotation below aliases the [][]float64 headers.
+	nBufs := 2 + mBands*nSteps + 2*mBands*(nSteps+1)
+	slab := pool.Get(nBufs * sz)
+	off := 0
+	newBank := func() []float64 {
+		b := slab[off : off+sz : off+sz]
+		off += sz
+		return b
+	}
 
 	// C matrices for the previous and current level: cur[h][k], h ∈ 1..m,
 	// k ∈ 0..level. Two banks of matrices are swapped between levels so
@@ -234,39 +322,48 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 	spare := make([][][]float64, mBands+1) // bank reused as the next cur
 	pc := make([][][]float64, mBands+1)    // pc[h][k] = P·prev[h][k]
 
-	// Pⁿ (dense) and its predecessor.
-	pn := newMat()
-	for i := 0; i < n; i++ {
-		pn[i*n+i] = 1
+	// Pⁿ (restricted to the carried columns) and its predecessor:
+	// P⁰[i, cols[j]] = 1 iff i = cols[j].
+	pn := newBank()
+	for j, col := range cols {
+		pn[col*g+j] = 1
 	}
-	pnNext := newMat()
+	pnNext := newBank()
 
-	hMat = newMat()
-	tMat = newMat()
+	hMat = pool.Get(sz)
+	tMat = pool.Get(sz)
 
-	binomPMF := func(nn, k int) float64 { return numeric.BinomialPMF(lf, nn, k, x) }
+	// Binomial pmf row of the current level, recomputed sequentially before
+	// each level's parallel region (read-only inside it) — once per level,
+	// not once per worker.
+	binom := make([]float64, nSteps+1)
 
-	// Level n = 0: C(h,0,0) = diag(1{up(h,i)}).
+	// Level n = 0: C(h,0,0) = diag(1{up(h,i)}), restricted columns. The
+	// bank headers are sized for the whole run upfront, so the rotation
+	// below never re-allocates them.
 	for h := 1; h <= mBands; h++ {
-		c := newMat()
-		for i := 0; i < n; i++ {
-			if up[h][i] {
-				c[i*n+i] = 1
+		c := newBank()
+		for j, col := range cols {
+			if up[h][col] {
+				c[col*g+j] = 1
 			}
 		}
-		cur[h] = [][]float64{c}
+		bank := make([][]float64, 1, nSteps+1)
+		bank[0] = c
+		cur[h] = bank
 	}
 	accumulate := func(level int) {
 		w := poisPMF(level)
 		if w == 0 {
 			return
 		}
+		numeric.BinomialRow(lf, level, x, binom)
 		for idx := 0; idx < sz; idx++ {
 			tMat[idx] += w * pn[idx]
 		}
 		ck := cur[hTarget]
 		for k := 0; k <= level; k++ {
-			bw := binomPMF(level, k)
+			bw := binom[k]
 			if bw == 0 {
 				continue
 			}
@@ -279,21 +376,152 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 	}
 	accumulate(0)
 
-	mulRow := func(dst, src []float64, i int) {
-		// dst row i = (P·src) row i.
-		base := i * n
-		for j := 0; j < n; j++ {
-			dst[base+j] = 0
-		}
+	// Flatten P into plain CSR arrays once: the recursion performs
+	// O(m·N²·n) row products, and the closure-based Row iteration costs an
+	// indirect call per nonzero — the dominant overhead once the columns
+	// are sliced down to g ≪ n. Iteration order is the CSR row order
+	// either way, so the products stay bitwise identical.
+	var nnz int
+	for i := 0; i < n; i++ {
+		p.Row(i, func(int, float64) { nnz++ })
+	}
+	rowStart := make([]int, n+1)
+	colIdx := make([]int, nnz)
+	vals := make([]float64, nnz)
+	for i, e := 0, 0; i < n; i++ {
+		rowStart[i] = e
 		p.Row(i, func(col int, v float64) {
-			srow := col * n
-			for j := 0; j < n; j++ {
-				dst[base+j] += v * src[srow+j]
-			}
+			colIdx[e], vals[e] = col, v
+			e++
 		})
+		rowStart[i+1] = e
 	}
 
-	for level := 1; level <= nSteps; level++ {
+	mulRow := func(dst, src []float64, i int) {
+		// dst row i = (P·src) row i, over the carried columns.
+		base := i * g
+		for j := 0; j < g; j++ {
+			dst[base+j] = 0
+		}
+		for e := rowStart[i]; e < rowStart[i+1]; e++ {
+			v := vals[e]
+			srow := colIdx[e] * g
+			for j := 0; j < g; j++ {
+				dst[base+j] += v * src[srow+j]
+			}
+		}
+	}
+	if g == 1 {
+		// Single goal column: the inner j-loop collapses; accumulate in a
+		// register in the same order as above (zero, then add in CSR row
+		// order), which keeps the result bitwise identical.
+		mulRow = func(dst, src []float64, i int) {
+			var s float64
+			for e := rowStart[i]; e < rowStart[i+1]; e++ {
+				s += vals[e] * src[colIdx[e]]
+			}
+			dst[i] = s
+		}
+	}
+
+	// The per-level parallel body is hoisted out of the level loop (its
+	// level-dependent inputs are captured by reference) so the loop does
+	// not allocate a fresh closure per level.
+	var (
+		level int
+		w     float64
+	)
+	levelBody := func(lo, hi int) {
+		// PC[h][k] = P·C(h, level−1, k) and Pⁿ, rows lo..hi−1.
+		for i := lo; i < hi; i++ {
+			for h := 1; h <= mBands; h++ {
+				for k := 0; k < level; k++ {
+					mulRow(pc[h][k], prev[h][k], i)
+				}
+			}
+			mulRow(pnNext, pn, i)
+		}
+		// Up-row sweep: increasing h, increasing k.
+		for h := 1; h <= mBands; h++ {
+			dh := bands[h] - bands[h-1]
+			for i := lo; i < hi; i++ {
+				if !up[h][i] {
+					continue
+				}
+				row := i * g
+				// Base k = 0.
+				var baseRow []float64
+				if h == 1 {
+					baseRow = pnNext
+				} else {
+					baseRow = cur[h-1][level]
+				}
+				copy(cur[h][0][row:row+g], baseRow[row:row+g])
+				// k = 1..level.
+				a := (rho[i] - bands[h]) / (rho[i] - bands[h-1])
+				b := dh / (rho[i] - bands[h-1])
+				for k := 1; k <= level; k++ {
+					dst := cur[h][k]
+					prevK := cur[h][k-1]
+					pck := pc[h][k-1]
+					for j := 0; j < g; j++ {
+						dst[row+j] = a*prevK[row+j] + b*pck[row+j]
+					}
+				}
+			}
+		}
+		// Down-row sweep: decreasing h, decreasing k.
+		for h := mBands; h >= 1; h-- {
+			dh := bands[h] - bands[h-1]
+			for i := lo; i < hi; i++ {
+				if up[h][i] {
+					continue
+				}
+				row := i * g
+				// Base k = level: C(h,n,n) = C(h+1,n,0), or 0 in the top
+				// band (explicitly cleared — the buffers are recycled).
+				if h < mBands {
+					copy(cur[h][level][row:row+g], cur[h+1][0][row:row+g])
+				} else {
+					base := cur[h][level]
+					for j := 0; j < g; j++ {
+						base[row+j] = 0
+					}
+				}
+				a := (bands[h-1] - rho[i]) / (bands[h] - rho[i])
+				b := dh / (bands[h] - rho[i])
+				for k := level - 1; k >= 0; k-- {
+					dst := cur[h][k]
+					nextK := cur[h][k+1]
+					pck := pc[h][k]
+					for j := 0; j < g; j++ {
+						dst[row+j] = a*nextK[row+j] + b*pck[row+j]
+					}
+				}
+			}
+		}
+		// Accumulate rows lo..hi−1 into tMat/hMat (row-local writes).
+		if w == 0 {
+			return
+		}
+		for idx := lo * g; idx < hi*g; idx++ {
+			tMat[idx] += w * pnNext[idx]
+		}
+		ck := cur[hTarget]
+		for k := 0; k <= level; k++ {
+			bw := binom[k]
+			if bw == 0 {
+				continue
+			}
+			c := ck[k]
+			f := w * bw
+			for idx := lo * g; idx < hi*g; idx++ {
+				hMat[idx] += f * c[idx]
+			}
+		}
+	}
+
+	for level = 1; level <= nSteps; level++ {
 		// Bank bookkeeping stays sequential: swap the matrix banks and make
 		// sure every buffer the parallel region will write exists.
 		for h := 1; h <= mBands; h++ {
@@ -303,7 +531,7 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 			}
 			for k := 0; k < level; k++ {
 				if pc[h][k] == nil {
-					pc[h][k] = newMat()
+					pc[h][k] = newBank()
 				}
 			}
 			// Recycle the level-2 bank; every entry is fully overwritten
@@ -317,7 +545,7 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 			bank = bank[:level+1]
 			for k := 0; k <= level; k++ {
 				if bank[k] == nil {
-					bank[k] = newMat()
+					bank[k] = newBank()
 				}
 			}
 			cur[h] = bank
@@ -327,135 +555,33 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 		// range and runs the full per-row pipeline — PC products, the Pⁿ
 		// update (into pnNext, which holds P^level until the swap below),
 		// the up/down sweeps and the accumulation — in sequential order.
-		w := poisPMF(level)
-		parallel.For(workers, n, func(lo, hi int) {
-			// PC[h][k] = P·C(h, level−1, k) and Pⁿ, rows lo..hi−1.
-			for i := lo; i < hi; i++ {
-				for h := 1; h <= mBands; h++ {
-					for k := 0; k < level; k++ {
-						mulRow(pc[h][k], prev[h][k], i)
-					}
-				}
-				mulRow(pnNext, pn, i)
-			}
-			// Up-row sweep: increasing h, increasing k.
-			for h := 1; h <= mBands; h++ {
-				dh := bands[h] - bands[h-1]
-				for i := lo; i < hi; i++ {
-					if !up[h][i] {
-						continue
-					}
-					row := i * n
-					// Base k = 0.
-					var baseRow []float64
-					if h == 1 {
-						baseRow = pnNext
-					} else {
-						baseRow = cur[h-1][level]
-					}
-					copy(cur[h][0][row:row+n], baseRow[row:row+n])
-					// k = 1..level.
-					a := (rho[i] - bands[h]) / (rho[i] - bands[h-1])
-					b := dh / (rho[i] - bands[h-1])
-					for k := 1; k <= level; k++ {
-						dst := cur[h][k]
-						prevK := cur[h][k-1]
-						pck := pc[h][k-1]
-						for j := 0; j < n; j++ {
-							dst[row+j] = a*prevK[row+j] + b*pck[row+j]
-						}
-					}
-				}
-			}
-			// Down-row sweep: decreasing h, decreasing k.
-			for h := mBands; h >= 1; h-- {
-				dh := bands[h] - bands[h-1]
-				for i := lo; i < hi; i++ {
-					if up[h][i] {
-						continue
-					}
-					row := i * n
-					// Base k = level: C(h,n,n) = C(h+1,n,0), or 0 in the top
-					// band (explicitly cleared — the buffers are recycled).
-					if h < mBands {
-						copy(cur[h][level][row:row+n], cur[h+1][0][row:row+n])
-					} else {
-						base := cur[h][level]
-						for j := 0; j < n; j++ {
-							base[row+j] = 0
-						}
-					}
-					a := (bands[h-1] - rho[i]) / (bands[h] - rho[i])
-					b := dh / (bands[h] - rho[i])
-					for k := level - 1; k >= 0; k-- {
-						dst := cur[h][k]
-						nextK := cur[h][k+1]
-						pck := pc[h][k]
-						for j := 0; j < n; j++ {
-							dst[row+j] = a*nextK[row+j] + b*pck[row+j]
-						}
-					}
-				}
-			}
-			// Accumulate rows lo..hi−1 into tMat/hMat (row-local writes).
-			if w == 0 {
-				return
-			}
-			for idx := lo * n; idx < hi*n; idx++ {
-				tMat[idx] += w * pnNext[idx]
-			}
-			ck := cur[hTarget]
-			for k := 0; k <= level; k++ {
-				bw := binomPMF(level, k)
-				if bw == 0 {
-					continue
-				}
-				c := ck[k]
-				f := w * bw
-				for idx := lo * n; idx < hi*n; idx++ {
-					hMat[idx] += f * c[idx]
-				}
-			}
-		})
+		w = poisPMF(level)
+		if w != 0 {
+			numeric.BinomialRow(lf, level, x, binom)
+		}
+		parallel.For(workers, n, levelBody)
 		pn, pnNext = pnNext, pn
 	}
+	// Check the slab back in (hMat/tMat stay out; the caller returns them
+	// after the goal-column summation).
+	pool.Put(slab)
 	return hMat, tMat
 }
 
-// transientGoal returns Σ_{j∈goal} Pr_i{X_t = j} for all i by backward
-// uniformisation — the degenerate case where the reward bound is vacuous.
+// transientGoal returns Σ_{j∈goal} Pr_i{X_t = j} for all i by one backward
+// uniformisation sweep — the degenerate case where the reward bound is
+// vacuous. It delegates to internal/transient, which brings steady-state
+// detection and pooled scratch along for free.
 func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda float64, opts Options) ([]float64, error) {
-	var p *sparse.CSR
-	var err error
-	if opts.Cache != nil {
-		p, err = opts.Cache.Uniformised(m, lambda)
-	} else {
-		p, err = m.Uniformised(lambda)
+	topts := transient.Options{
+		Epsilon:      opts.Epsilon,
+		Lambda:       lambda,
+		Workers:      opts.Workers,
+		SteadyDetect: opts.SteadyDetect,
+		Pool:         opts.Pool,
+		// Cache's method set is identical to transient.Cache's, so the
+		// interface value converts directly; nil stays nil.
+		Cache: opts.Cache,
 	}
-	if err != nil {
-		return nil, err
-	}
-	var w *numeric.PoissonWeights
-	if opts.Cache != nil {
-		w, err = opts.Cache.Poisson(lambda*t, opts.Epsilon)
-	} else {
-		w, err = numeric.FoxGlynn(lambda*t, opts.Epsilon)
-	}
-	if err != nil {
-		return nil, err
-	}
-	n := m.N()
-	cur := goal.Indicator()
-	next := make([]float64, n)
-	acc := make([]float64, n)
-	for step := 0; step <= w.Right; step++ {
-		if step >= w.Left {
-			sparse.AXPY(w.Weight(step), cur, acc)
-		}
-		if step < w.Right {
-			p.MulVecPar(next, cur, opts.Workers)
-			cur, next = next, cur
-		}
-	}
-	return acc, nil
+	return transient.BackwardWeighted(m, goal.Indicator(), t, topts)
 }

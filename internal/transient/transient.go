@@ -28,6 +28,25 @@ type Cache interface {
 	Poisson(q, eps float64) (*numeric.PoissonWeights, error)
 }
 
+// SteadyMode controls steady-state detection in the uniformisation sweeps:
+// once the iterate stops moving, every further Pⁿ application is a no-op
+// and the remaining Poisson tail can be charged to the converged vector in
+// one step. The zero value enables detection, so existing Options literals
+// pick it up automatically; SteadyOff restores the full Fox–Glynn sweep.
+type SteadyMode int
+
+const (
+	// SteadyAuto is the default: detection enabled.
+	SteadyAuto SteadyMode = iota
+	// SteadyOn enables detection explicitly (same behaviour as SteadyAuto).
+	SteadyOn
+	// SteadyOff disables detection; the full weight window is summed.
+	SteadyOff
+)
+
+// enabled reports whether the mode turns detection on.
+func (s SteadyMode) enabled() bool { return s != SteadyOff }
+
 // Options controls uniformisation.
 type Options struct {
 	// Epsilon is the truncation error budget for the Poisson series.
@@ -38,9 +57,21 @@ type Options struct {
 	// Workers bounds the parallelism of the matrix–vector sweeps:
 	// 0 = runtime.NumCPU(), 1 = the exact sequential legacy path.
 	Workers int
+	// SteadyDetect controls steady-state detection: when the sweep iterate
+	// moves by less than ε/(λt) in the ∞-norm, the remaining Poisson tail
+	// is charged to the converged vector and the sweep stops early. The
+	// default (zero value) is on; the added error is at most ε (see
+	// DESIGN.md for the tail bound). Detection is deterministic, so results
+	// stay bitwise independent of Workers either way.
+	SteadyDetect SteadyMode
 	// Cache, when non-nil, memoises uniformised matrices and Fox–Glynn
 	// weight tables across calls.
 	Cache Cache
+	// Pool, when non-nil, supplies the sweep scratch vectors and the result
+	// accumulator. The two scratch vectors are returned to the pool before
+	// the sweep returns; ownership of the pool-born result slice transfers
+	// to the caller, who may Put it back once dead or simply drop it.
+	Pool *sparse.VecPool
 }
 
 // DefaultOptions returns the accuracy used throughout the test-suite.
@@ -71,6 +102,62 @@ func (o Options) poissonWeights(q float64) (*numeric.PoissonWeights, error) {
 	return numeric.FoxGlynn(q, o.Epsilon)
 }
 
+// sweep evaluates the uniformisation series Σ_n w(n)·vₙ with v₀ = v and
+// vₙ₊₁ = P·vₙ (forward = false) or vₙ₊₁ = vₙ·P (forward = true), returning
+// the accumulator and the number of matrix products actually applied.
+//
+// Steady-state detection: P is stochastic, so the iteration is
+// non-expansive in the ∞-norm. Once one application moves the iterate by
+// δ < ε/q (q = λt), every later iterate vₙ₊ₖ stays within k·δ of the
+// converged vector, and charging the whole remaining Poisson tail to it
+// mis-weights the series by at most Σ_k w(n+k)·k·δ ≤ E[N]·δ ≈ q·δ < ε —
+// the same budget the Fox–Glynn truncation already grants. The tail mass
+// and the convergence test are computed identically for every Workers
+// value, so the early exit preserves bitwise determinism across worker
+// counts.
+//
+// Scratch vectors come from opts.Pool (nil-safe) and are returned to it;
+// the accumulator is pool-born and handed to the caller.
+func sweep(p *sparse.CSR, v []float64, w *numeric.PoissonWeights, q float64, opts Options, forward bool) ([]float64, int) {
+	n := p.Dim()
+	pool := opts.Pool
+	cur := pool.Get(n)
+	copy(cur, v)
+	next := pool.Get(n)
+	acc := pool.Get(n)
+	detect := opts.SteadyDetect.enabled()
+	delta := opts.Epsilon / q
+	products := 0
+	for step := 0; step <= w.Right; step++ {
+		if step >= w.Left {
+			sparse.AXPY(w.Weight(step), cur, acc)
+		}
+		if step == w.Right {
+			break
+		}
+		if forward {
+			p.MulVecTPar(next, cur, opts.Workers) // row vector: next = cur·P
+		} else {
+			p.MulVecPar(next, cur, opts.Workers) // column vector: next = P·cur
+		}
+		products++
+		if detect && sparse.MaxDiff(next, cur) < delta {
+			// Converged: charge the remaining Poisson mass to the fixed
+			// point instead of applying w.Right − step more no-op products.
+			var tail float64
+			for k := step + 1; k <= w.Right; k++ {
+				tail += w.Weight(k)
+			}
+			sparse.AXPY(tail, next, acc)
+			break
+		}
+		cur, next = next, cur
+	}
+	pool.Put(cur)
+	pool.Put(next)
+	return acc, products
+}
+
 // Distribution returns the transient state distribution π(t) of the model's
 // CTMC starting from its initial distribution α.
 func Distribution(m *mrm.MRM, t float64, opts Options) ([]float64, error) {
@@ -78,6 +165,8 @@ func Distribution(m *mrm.MRM, t float64, opts Options) ([]float64, error) {
 }
 
 // DistributionFrom returns π(t) starting from the given distribution.
+// When opts.Pool is set the returned slice is pool-born; ownership
+// transfers to the caller.
 func DistributionFrom(m *mrm.MRM, init []float64, t float64, opts Options) ([]float64, error) {
 	opts = opts.normalise()
 	if len(init) != m.N() {
@@ -101,18 +190,7 @@ func DistributionFrom(m *mrm.MRM, init []float64, t float64, opts Options) ([]fl
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	cur := sparse.Clone(init)
-	next := make([]float64, m.N())
-	acc := make([]float64, m.N())
-	for n := 0; n <= w.Right; n++ {
-		if n >= w.Left {
-			sparse.AXPY(w.Weight(n), cur, acc)
-		}
-		if n < w.Right {
-			p.MulVecTPar(next, cur, opts.Workers) // row vector: next = cur·P
-			cur, next = next, cur
-		}
-	}
+	acc, _ := sweep(p, init, w, lambda*t, opts, true)
 	return acc, nil
 }
 
@@ -134,7 +212,9 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t float64, opts Options) ([]fl
 // BackwardWeighted returns, for every state s, the expectation
 // result[s] = Σ_j Pr_s{X_t = j}·v[j], i.e. one backward uniformisation
 // sweep applied to the terminal weight vector v. This generalisation is
-// used for interval-bounded until (two-phase computation).
+// used for interval-bounded until (two-phase computation). When opts.Pool
+// is set the returned slice is pool-born; ownership transfers to the
+// caller.
 func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float64, error) {
 	opts = opts.normalise()
 	if len(v) != m.N() {
@@ -155,18 +235,7 @@ func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	cur := sparse.Clone(v)
-	next := make([]float64, m.N())
-	acc := make([]float64, m.N())
-	for n := 0; n <= w.Right; n++ {
-		if n >= w.Left {
-			sparse.AXPY(w.Weight(n), cur, acc)
-		}
-		if n < w.Right {
-			p.MulVecPar(next, cur, opts.Workers) // column vector: next = P·cur
-			cur, next = next, cur
-		}
-	}
+	acc, _ := sweep(p, v, w, lambda*t, opts, false)
 	return acc, nil
 }
 
