@@ -22,6 +22,7 @@ import (
 	"github.com/performability/csrl/internal/lump"
 	"github.com/performability/csrl/internal/modelfile"
 	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/obs"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) (int, error) {
 		workers   = fs.Int("workers", 0, "worker goroutines for the numerical procedures (0 = all CPUs, 1 = sequential)")
 		states    = fs.Bool("states", false, "list every state with its verdict/value")
 		doLump    = fs.Bool("lump", false, "lump the model w.r.t. the formula's atoms before checking")
+		stats     = fs.Bool("stats", false, "print the numerics report: error-budget ledger, counters and spans")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: csrlcheck -model FILE [flags] FORMULA\n\n")
@@ -99,6 +101,9 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 		m = lumped.Model
 	}
+	if *stats {
+		opts.Obs = obs.New()
+	}
 	checker := core.New(m, opts)
 
 	fmt.Fprintf(out, "model:   %s (%d states)\n", *modelPath, original.N())
@@ -112,6 +117,14 @@ func run(args []string, out io.Writer) (int, error) {
 			return vals
 		}
 		return lumped.Lift(vals)
+	}
+	// printStats emits the numerics report after the check so the ledger
+	// covers every procedure the formula actually exercised; no-op unless
+	// -stats armed a recorder.
+	printStats := func() {
+		if rep := checker.NumericsReport(); rep != nil {
+			fmt.Fprint(out, rep.Format())
+		}
 	}
 
 	if isQuery(formula) {
@@ -130,6 +143,7 @@ func run(args []string, out io.Writer) (int, error) {
 				fmt.Fprintf(out, "  %-30s %0.10f\n", original.Name(s), v)
 			}
 		}
+		printStats()
 		return 0, nil
 	}
 
@@ -161,6 +175,7 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 	fmt.Fprintf(out, "holds in the initial state(s): %v\n", holds)
+	printStats()
 	if !holds {
 		// Distinguish "property fails" (2) from tool failure (1).
 		return 2, nil

@@ -95,6 +95,70 @@ func TestRunAlgorithmSelection(t *testing.T) {
 	}
 }
 
+// TestRunStatsBudget is the acceptance check of the observability layer:
+// for the paper's three queries, under each procedure that applies, the
+// -stats numerics report must prove that the summed error-budget ledger
+// stays within the configured epsilon.
+func TestRunStatsBudget(t *testing.T) {
+	path := writeStationModel(t)
+	cases := []struct {
+		name    string
+		args    []string
+		formula string
+		ledger  string // entry each procedure is expected to charge
+	}{
+		{"Q1 duality", nil, "P=? [ F{r<=600} call_incoming ]", "foxglynn/"},
+		{"Q2 transient", nil, "P=? [ F{t<=24} call_incoming ]", "foxglynn/"},
+		{"Q3 sericola", []string{"-algorithm", "sericola"},
+			"P=? [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]",
+			"sericola/series-remainder"},
+		{"Q3 erlang", []string{"-algorithm", "erlang", "-k", "128"},
+			"P=? [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]",
+			"foxglynn/"},
+		{"Q3 discretise", []string{"-algorithm", "discretise", "-d", "0.03125"},
+			"P=? [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]",
+			"discretise/step"},
+	}
+	const eps = 1e-7
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-model", path, "-stats", "-epsilon", "1e-7"}, tc.args...)
+			args = append(args, tc.formula)
+			var out bytes.Buffer
+			code, err := run(args, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code != 0 {
+				t.Fatalf("exit code %d:\n%s", code, out.String())
+			}
+			text := out.String()
+			if !strings.Contains(text, "numerics report:") {
+				t.Fatalf("-stats produced no report:\n%s", text)
+			}
+			if !strings.Contains(text, "error budget (epsilon = 1e-07)") {
+				t.Errorf("epsilon missing from the report:\n%s", text)
+			}
+			// The budget line carries the machine verdict; OK means the
+			// summed bounded charges were proved <= eps.
+			if !strings.Contains(text, ": OK") || strings.Contains(text, "EXCEEDED") {
+				t.Errorf("budget not proved within %g:\n%s", eps, text)
+			}
+			if !strings.Contains(text, tc.ledger) {
+				t.Errorf("expected ledger entry %q missing:\n%s", tc.ledger, text)
+			}
+		})
+	}
+	// Without -stats the report must stay disabled.
+	var out bytes.Buffer
+	if _, err := run([]string{"-model", path, "P=? [ F{t<=24} call_incoming ]"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "numerics report") {
+		t.Errorf("report printed without -stats:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeStationModel(t)
 	cases := []struct {

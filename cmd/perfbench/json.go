@@ -18,9 +18,12 @@ import (
 	"time"
 
 	"github.com/performability/csrl/internal/adhoc"
+	"github.com/performability/csrl/internal/core"
 	"github.com/performability/csrl/internal/discretise"
 	"github.com/performability/csrl/internal/erlang"
+	"github.com/performability/csrl/internal/logic"
 	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/obs"
 	"github.com/performability/csrl/internal/sericola"
 	"github.com/performability/csrl/internal/sparse"
 	"github.com/performability/csrl/internal/transient"
@@ -34,6 +37,12 @@ const (
 	// allocSlack ignores regressions below this absolute allocs/op level:
 	// ratios of tiny counts (3 vs 2 allocations) are noise, not regressions.
 	allocSlack = 16
+	// memoHitRateSlack is the tolerated absolute drop of the stats
+	// workload's memo hit-rate below the baseline. The workload is
+	// deterministic, so any real drop means the corner evaluations stopped
+	// sharing reductions or weight tables; the slack only absorbs future
+	// intentional memo-key changes that shift the rate by a count or two.
+	memoHitRateSlack = 0.05
 )
 
 type benchRecord struct {
@@ -48,6 +57,69 @@ type benchReport struct {
 	GoVersion string        `json:"go_version"`
 	NumCPU    int           `json:"num_cpu"`
 	Records   []benchRecord `json:"records"`
+	Stats     *benchStats   `json:"stats,omitempty"`
+}
+
+// benchStats is the observability cross-section of the performance trail:
+// the paper's Q3 query evaluated statsRuns times on ONE checker with a
+// recorder armed. The first evaluation populates the memo (reduction,
+// uniformised matrix, Poisson weights); the repeats must hit it, so the
+// cumulative hit-rate is a deterministic number for this workload and a
+// drop against the stored baseline means the corner evaluations stopped
+// sharing intermediates. The budget fields snapshot the FIRST evaluation
+// only — the ledger sums per-call truncation charges, so the ≤ ε proof is
+// a per-check statement, not a per-process one.
+type benchStats struct {
+	Query       string  `json:"query"`
+	Runs        int     `json:"runs"`
+	Epsilon     float64 `json:"epsilon"`
+	BudgetTotal float64 `json:"budget_total"`
+	BudgetOK    bool    `json:"budget_ok"`
+	MemoHits    int64   `json:"memo_hits"`
+	MemoMisses  int64   `json:"memo_misses"`
+	MemoHitRate float64 `json:"memo_hit_rate"`
+	PoolGets    int64   `json:"pool_gets"`
+	PoolReuses  int64   `json:"pool_reuses"`
+}
+
+const (
+	statsQuery = "P=? [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]"
+	statsRuns  = 3
+)
+
+// collectStats runs the fixed stats workload and reduces the numerics
+// report to the benchStats record.
+func collectStats(workers int) (*benchStats, error) {
+	m, err := adhoc.Model()
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.Workers = workers
+	opts.Obs = obs.New()
+	checker := core.New(m, opts)
+	formula := logic.MustParse(statsQuery)
+
+	st := &benchStats{Query: statsQuery, Runs: statsRuns, Epsilon: opts.Epsilon}
+	for i := 0; i < statsRuns; i++ {
+		if _, err := checker.Values(formula); err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			rep := checker.NumericsReport()
+			st.BudgetTotal = rep.BudgetTotal
+			st.BudgetOK = rep.BudgetOK
+		}
+	}
+	rep := checker.NumericsReport()
+	hits, misses := rep.Gauges["memo.hits"], rep.Gauges["memo.misses"]
+	st.MemoHits, st.MemoMisses = int64(hits), int64(misses)
+	if total := hits + misses; total > 0 {
+		st.MemoHitRate = hits / total
+	}
+	st.PoolGets = int64(rep.Gauges["pool.gets"])
+	st.PoolReuses = int64(rep.Gauges["pool.reuses"])
+	return st, nil
 }
 
 type benchWorkload struct {
@@ -153,6 +225,16 @@ func benchJSON(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, jsonPath, baselinePa
 	}
 	fmt.Fprintln(w)
 
+	stats, err := collectStats(workers)
+	if err != nil {
+		return err
+	}
+	report.Stats = stats
+	fmt.Fprintf(w, "Observability workload (%d× %s)\n\n", stats.Runs, stats.Query)
+	fmt.Fprintf(w, "  error budget: %.3g <= eps %.0e: %v\n", stats.BudgetTotal, stats.Epsilon, stats.BudgetOK)
+	fmt.Fprintf(w, "  memo: %d hits / %d misses (hit-rate %.3f)\n", stats.MemoHits, stats.MemoMisses, stats.MemoHitRate)
+	fmt.Fprintf(w, "  pool: %d gets, %d reuses\n\n", stats.PoolGets, stats.PoolReuses)
+
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
 		if err != nil {
@@ -220,6 +302,23 @@ func compareBaseline(w io.Writer, report benchReport, path string) error {
 		fmt.Fprintf(w, "  %-44s present in baseline only\n", name)
 	}
 	fmt.Fprintln(w)
+	// The memo hit-rate of the deterministic stats workload is part of the
+	// contract: the repeats of the Q3 query must keep hitting the cached
+	// reduction and weight tables, and a single failed check must never
+	// silently regress the error-budget proof.
+	if base.Stats != nil && report.Stats != nil {
+		fmt.Fprintf(w, "  %-44s hit-rate %.3f vs baseline %.3f\n", "stats/memo", report.Stats.MemoHitRate, base.Stats.MemoHitRate)
+		if report.Stats.MemoHitRate < base.Stats.MemoHitRate-memoHitRateSlack {
+			regressions = append(regressions,
+				fmt.Sprintf("stats: memo hit-rate %.3f vs baseline %.3f (drop > %.2f)",
+					report.Stats.MemoHitRate, base.Stats.MemoHitRate, memoHitRateSlack))
+		}
+		if base.Stats.BudgetOK && !report.Stats.BudgetOK {
+			regressions = append(regressions,
+				fmt.Sprintf("stats: error budget %.3g no longer within eps %.0e",
+					report.Stats.BudgetTotal, report.Stats.Epsilon))
+		}
+	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(w, "  REGRESSION:", r)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,6 +87,68 @@ func TestDumpModelRoundTrips(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("dumped model missing %q", want)
 		}
+	}
+}
+
+// TestCollectStatsDeterministic pins the observability workload of the
+// -json report: the first Q3 evaluation must prove its error budget, the
+// repeats must hit the memo, and the whole record must be reproducible
+// run to run (it is compared against a stored baseline in CI).
+func TestCollectStatsDeterministic(t *testing.T) {
+	st, err := collectStats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.BudgetOK || st.BudgetTotal <= 0 {
+		t.Errorf("first evaluation must ledger a positive budget within eps: %+v", st)
+	}
+	if st.MemoMisses == 0 || st.MemoHits == 0 {
+		t.Errorf("stats workload must both miss (run 1) and hit (runs 2-3) the memo: %+v", st)
+	}
+	// Runs 2 and 3 replay every lookup run 1 missed, so at least 2/3 of
+	// all lookups hit.
+	if st.MemoHitRate < 0.6 {
+		t.Errorf("memo hit-rate %.3f below the structural floor 2/3", st.MemoHitRate)
+	}
+	again, err := collectStats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *st != *again {
+		t.Errorf("stats workload not deterministic:\n  %+v\n  %+v", st, again)
+	}
+}
+
+// TestBaselineStatsGuards exercises the -baseline memo hit-rate and
+// budget guards on hand-built reports (no benchmarking involved).
+func TestBaselineStatsGuards(t *testing.T) {
+	writeBase := func(t *testing.T, rep benchReport) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := writeBase(t, benchReport{Stats: &benchStats{MemoHitRate: 0.8, BudgetOK: true}})
+
+	var out bytes.Buffer
+	fresh := benchReport{Stats: &benchStats{MemoHitRate: 0.79, BudgetOK: true}}
+	if err := compareBaseline(&out, fresh, base); err != nil {
+		t.Errorf("hit-rate drop within slack must pass: %v", err)
+	}
+	fresh.Stats.MemoHitRate = 0.5
+	if err := compareBaseline(&out, fresh, base); err == nil {
+		t.Error("hit-rate drop beyond slack must fail")
+	}
+	fresh.Stats.MemoHitRate = 0.8
+	fresh.Stats.BudgetOK = false
+	if err := compareBaseline(&out, fresh, base); err == nil {
+		t.Error("losing the budget proof must fail")
 	}
 }
 

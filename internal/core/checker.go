@@ -27,6 +27,8 @@ import (
 	"github.com/performability/csrl/internal/logic"
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/obs"
+	"github.com/performability/csrl/internal/parallel"
 	"github.com/performability/csrl/internal/sericola"
 	"github.com/performability/csrl/internal/sparse"
 	"github.com/performability/csrl/internal/steady"
@@ -85,6 +87,13 @@ type Options struct {
 	// Solve configures the linear solver for unbounded until and
 	// steady-state computations.
 	Solve numeric.SolveOptions
+	// Obs, when non-nil, collects the numerics-observability signals of
+	// every procedure the checker runs: the error-budget ledger (Fox–Glynn
+	// truncation masses, steady-detection tail charges, Sericola series
+	// remainders, indicative scheme terms), counters, gauges and phase
+	// spans. Read the aggregate with Checker.NumericsReport; nil (the
+	// default) reduces the instrumentation to pointer comparisons.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions returns the configuration used by the test-suite.
@@ -135,6 +144,29 @@ func New(m *mrm.MRM, opts Options) *Checker {
 
 // Model returns the checker's model.
 func (c *Checker) Model() *mrm.MRM { return c.m }
+
+// NumericsReport folds the memo and pool statistics into the configured
+// recorder and returns the aggregate numerics report: the merged
+// error-budget ledger checked against Options.Epsilon, plus every counter,
+// gauge and span recorded since the last Reset. It returns nil when no
+// recorder is configured (Options.Obs == nil).
+func (c *Checker) NumericsReport() *obs.Report {
+	r := c.opts.Obs
+	if r == nil {
+		return nil
+	}
+	hits, misses := c.memo.stats()
+	r.Gauge("memo.hits").Set(float64(hits))
+	r.Gauge("memo.misses").Set(float64(misses))
+	ps := c.pool.Stats()
+	r.Gauge("pool.gets").Set(float64(ps.Gets))
+	r.Gauge("pool.reuses").Set(float64(ps.Reuses))
+	r.Gauge("pool.alloc_bytes").Set(float64(ps.AllocBytes))
+	// Process-wide like the worker pool it meters; 0 when every region
+	// ran inline (one effective worker or tiny ranges).
+	r.Gauge("parallel.chunks").Set(float64(parallel.ChunkCount()))
+	return r.Report(c.opts.Epsilon)
+}
 
 // Sat computes the satisfaction set Sat(Φ) by the bottom-up traversal of
 // the parse tree described in Section 3.
@@ -225,7 +257,9 @@ func (c *Checker) Sat(f logic.StateFormula) (*mrm.StateSet, error) {
 // distribution: it holds when every state with positive initial probability
 // satisfies it.
 func (c *Checker) Check(f logic.StateFormula) (bool, error) {
+	span := c.opts.Obs.StartSpan("core.sat")
 	sat, err := c.Sat(f)
+	span.End()
 	if err != nil {
 		return false, err
 	}
@@ -314,7 +348,15 @@ func (c *Checker) probNext(nx logic.Next) ([]float64, error) {
 		if lo > hi {
 			continue
 		}
-		window := math.Exp(-e*lo) - expNeg(e*hi)
+		wLo, err := expNeg(e * lo)
+		if err != nil {
+			return nil, fmt.Errorf("core: next window at state %d: %w", s, err)
+		}
+		wHi, err := expNeg(e * hi)
+		if err != nil {
+			return nil, fmt.Errorf("core: next window at state %d: %w", s, err)
+		}
+		window := wLo - wHi
 		var hit float64
 		c.m.Rates().Row(s, func(tgt int, v float64) {
 			if sat.Contains(tgt) {
@@ -326,11 +368,18 @@ func (c *Checker) probNext(nx logic.Next) ([]float64, error) {
 	return out, nil
 }
 
-func expNeg(x float64) float64 {
-	if math.IsInf(x, 1) {
-		return 0
+// expNeg returns e^{-x}, mapping x = +∞ to its exact limit 0. A NaN
+// argument is an error: math.Exp would propagate it silently into the
+// probability vector, where it poisons every comparison downstream (NaN
+// fails all threshold tests, so a Sat set would quietly come out empty).
+func expNeg(x float64) (float64, error) {
+	if math.IsNaN(x) {
+		return 0, fmt.Errorf("core: exponent is NaN")
 	}
-	return math.Exp(-x)
+	if math.IsInf(x, 1) {
+		return 0, nil
+	}
+	return math.Exp(-x), nil
 }
 
 // probUntil dispatches Φ U^I_J Ψ to the procedure matching its bounds.
@@ -387,6 +436,7 @@ func (c *Checker) transientOpts() transient.Options {
 		Workers:      c.opts.Workers,
 		SteadyDetect: c.opts.SteadyDetect,
 		Pool:         c.pool,
+		Obs:          c.opts.Obs,
 	}
 	if c.memo != nil {
 		// Guarded: wrapping a nil *memo in the interface would yield a
@@ -565,10 +615,14 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 	// The memoised reduction makes the corner evaluations of
 	// untilRectangle share one reduced model, which in turn lets the
 	// pointer-keyed uniformised-matrix cache hit across them.
+	span := c.opts.Obs.StartSpan("core.reduce")
 	red, err := c.memo.Reduction(c.m, phi, psi)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
+	span = c.opts.Obs.StartSpan("core.corner")
+	defer span.End()
 	goal := mrm.NewStateSetOf(red.Model.N(), red.Goal)
 	alg := c.opts.P3
 	if red.Model.HasImpulses() {
@@ -590,6 +644,7 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 			SteadyDetect: c.opts.SteadyDetect,
 			Cache:        cache,
 			Pool:         c.pool,
+			Obs:          c.opts.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -620,6 +675,7 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 			D:       d,
 			Workers: c.opts.Workers,
 			Pool:    c.pool,
+			Obs:     c.opts.Obs,
 		})
 		if err != nil {
 			return nil, err

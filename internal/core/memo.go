@@ -39,6 +39,8 @@ type memo struct {
 	reductions  map[string]*mrm.UntilReduction         // guarded by mu
 	uniformised map[uniKey]*sparse.CSR                 // guarded by mu
 	poisson     map[poissonKey]*numeric.PoissonWeights // guarded by mu
+	hits        int64                                  // guarded by mu
+	misses      int64                                  // guarded by mu
 }
 
 func newMemo() *memo {
@@ -60,8 +62,10 @@ func (c *memo) Reduction(m *mrm.MRM, phi, psi *mrm.StateSet) (*mrm.UntilReductio
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if red, ok := c.reductions[key]; ok {
+		c.hits++
 		return red, nil
 	}
+	c.misses++
 	red, err := mrm.ReduceForUntil(m, phi, psi)
 	if err != nil {
 		return nil, err
@@ -82,8 +86,10 @@ func (c *memo) Uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p, ok := c.uniformised[key]; ok {
+		c.hits++
 		return p, nil
 	}
+	c.misses++
 	p, err := m.Uniformised(lambda)
 	if err != nil {
 		return nil, err
@@ -95,6 +101,17 @@ func (c *memo) Uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error) {
 	return p, nil
 }
 
+// stats returns the cumulative hit/miss counts across all three tables.
+// A nil memo reports zeroes.
+func (c *memo) stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
 // Poisson implements transient.Cache and sericola.Cache.
 func (c *memo) Poisson(q, eps float64) (*numeric.PoissonWeights, error) {
 	if c == nil {
@@ -104,8 +121,10 @@ func (c *memo) Poisson(q, eps float64) (*numeric.PoissonWeights, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if w, ok := c.poisson[key]; ok {
+		c.hits++
 		return w, nil
 	}
+	c.misses++
 	w, err := numeric.FoxGlynn(q, eps)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/obs"
 	"github.com/performability/csrl/internal/parallel"
 	"github.com/performability/csrl/internal/sparse"
 )
@@ -54,6 +55,11 @@ type Options struct {
 	// region boundary — so the |S| per-source runs stop allocating fresh
 	// grids per source.
 	Pool *sparse.VecPool
+	// Obs, when non-nil, receives the numerics-observability signals: the
+	// O(d) discretisation term as an indicative ledger entry (the method
+	// has no a-priori error bound — §4.3), source counters, grid gauges and
+	// the recursion span.
+	Obs *obs.Recorder
 }
 
 var (
@@ -203,6 +209,12 @@ func prepare(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*prepa
 	if n*(R+1) < recursionGrain {
 		workers = 1
 	}
+	if opts.Obs != nil {
+		// The scheme's error is O(d) with an unknown constant (no a-priori
+		// bound, §4.3), so the step itself is the honest indicative entry.
+		opts.Obs.ChargeIndicative("discretise", "step", d)
+		opts.Obs.Gauge("discretise.grid").SetMax(float64(n * (R + 1)))
+	}
 	return &prepared{
 		m: m, goal: goal, n: n, T: T, R: R, d: d,
 		rho: rho, stay: stay, rt: rt, impulse: impulse, workers: workers,
@@ -331,9 +343,12 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, from int, opts Opti
 	if err != nil {
 		return 0, err
 	}
+	span := opts.Obs.StartSpan("discretise.recursion")
 	sc := p.newScratch(opts.Pool)
 	v := p.reachProb(from, sc)
 	sc.release(opts.Pool)
+	span.End()
+	opts.Obs.Counter("discretise.sources").Inc()
 	return v, nil
 }
 
@@ -356,6 +371,7 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) ([
 	}
 	n := m.N()
 	out := make([]float64, n)
+	span := opts.Obs.StartSpan("discretise.recursion")
 	parallel.For(opts.Workers, n, func(lo, hi int) {
 		sc := p.newScratch(opts.Pool)
 		for s := lo; s < hi; s++ {
@@ -363,5 +379,7 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) ([
 		}
 		sc.release(opts.Pool)
 	})
+	span.End()
+	opts.Obs.Counter("discretise.sources").Add(int64(n))
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/performability/csrl/internal/adhoc"
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/transient"
 )
@@ -108,6 +109,115 @@ func TestRewardBoundedUntilPassesDualAndBound(t *testing.T) {
 	}
 	if gotMax != 2 {
 		t.Errorf("callback did not receive the dual model (ρ̄(1)=%v)", gotMax)
+	}
+}
+
+// ftmsModel is the shape of the fault-tolerant multiprocessor of the
+// paper's introduction (examples/ftms): states 0..4 count operational
+// processors, reward i in state i, failures downward, one repair facility
+// upward. downReward parameterises the reward of the down state: the true
+// system has 0 there — and the down state is NOT absorbing (repair 0→1),
+// which is exactly the configuration the duality transform must reject.
+func ftmsModel(t *testing.T, downReward float64) *mrm.MRM {
+	t.Helper()
+	const processors = 4
+	b := mrm.NewBuilder(processors + 1)
+	for i := 1; i <= processors; i++ {
+		b.Rate(i, i-1, float64(i)*0.01)
+		b.Reward(i, float64(i))
+		b.Label(i, "operational")
+	}
+	b.Reward(0, downReward)
+	b.Label(0, "down")
+	for i := 0; i < processors; i++ {
+		b.Rate(i, i+1, 0.5)
+	}
+	b.InitialState(processors)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build ftms: %v", err)
+	}
+	return m
+}
+
+// ulps measures |a−b| in units in the last place of the larger magnitude.
+func ulps(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	mag := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / (math.Nextafter(mag, math.Inf(1)) - mag)
+}
+
+// requireRoundTrip asserts Dual(Dual(m)) ≈ m entry for entry. The rewards
+// round-trip through x → 1/x → 1/(1/x) and the rates through v → v/ρ →
+// (v/ρ)·ρ; either chain is two correctly-rounded operations, so each entry
+// may drift by at most one ulp from the original.
+func requireRoundTrip(t *testing.T, m *mrm.MRM) {
+	t.Helper()
+	d, err := Dual(m)
+	if err != nil {
+		t.Fatalf("Dual: %v", err)
+	}
+	dd, err := Dual(d)
+	if err != nil {
+		t.Fatalf("Dual(Dual): %v", err)
+	}
+	if dd.N() != m.N() {
+		t.Fatalf("state count changed: %d -> %d", m.N(), dd.N())
+	}
+	for s := 0; s < m.N(); s++ {
+		if u := ulps(dd.Reward(s), m.Reward(s)); u > 1 {
+			t.Errorf("reward(%d): %v -> %v (%.1f ulps)", s, m.Reward(s), dd.Reward(s), u)
+		}
+		if dd.Name(s) != m.Name(s) {
+			t.Errorf("name(%d): %q -> %q", s, m.Name(s), dd.Name(s))
+		}
+		m.Rates().Row(s, func(tgt int, v float64) {
+			if u := ulps(dd.Rates().At(s, tgt), v); u > 1 {
+				t.Errorf("rate(%d,%d): %v -> %v (%.1f ulps)", s, tgt, v, dd.Rates().At(s, tgt), u)
+			}
+		})
+		dd.Rates().Row(s, func(tgt int, v float64) {
+			if v != 0 && m.Rates().At(s, tgt) == 0 {
+				t.Errorf("round trip invented rate (%d,%d) = %v", s, tgt, v)
+			}
+		})
+		for _, a := range m.Labels() {
+			if m.HasLabel(s, a) != dd.HasLabel(s, a) {
+				t.Errorf("label %q flipped at state %d", a, s)
+			}
+		}
+	}
+	init, ddInit := m.Init(), dd.Init()
+	for s := range init {
+		if init[s] != ddInit[s] {
+			t.Errorf("init(%d): %v -> %v", s, init[s], ddInit[s])
+		}
+	}
+}
+
+// TestDualInvolution pins Dual∘Dual ≈ id on the two models the duality
+// path actually sees in the examples: the 9-state ad-hoc network (all
+// power rewards ≥ 20, so the transform is total) and the FTMS variant with
+// a positive down-state reward.
+func TestDualInvolution(t *testing.T) {
+	m, err := adhoc.Model()
+	if err != nil {
+		t.Fatalf("adhoc model: %v", err)
+	}
+	requireRoundTrip(t, m)
+	requireRoundTrip(t, ftmsModel(t, 0.125))
+	requireRoundTrip(t, model(t))
+}
+
+// TestDualRejectsFTMS pins that the true FTMS shape — reward 0 in the down
+// state, which repair keeps non-absorbing — has no dual: P2-type
+// properties on it must fail loudly with ErrZeroReward rather than divide
+// by zero.
+func TestDualRejectsFTMS(t *testing.T) {
+	if _, err := Dual(ftmsModel(t, 0)); !errors.Is(err, ErrZeroReward) {
+		t.Errorf("err = %v, want ErrZeroReward", err)
 	}
 }
 

@@ -10,6 +10,7 @@ package erlang
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/transient"
@@ -132,6 +133,12 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) ([
 	if err != nil {
 		return nil, err
 	}
+	// The Erlang-k bound has mean r and coefficient of variation 1/√k — the
+	// scheme's approximation order (§4.2 gives no computable error bound for
+	// it, hence an indicative entry, not part of the ≤ ε proof). The inner
+	// uniformisation charges its own truncation masses through Transient.Obs.
+	opts.Transient.Obs.Gauge("erlang.k").SetMax(float64(opts.K))
+	opts.Transient.Obs.ChargeIndicative("erlang", "k-approximation", 1/math.Sqrt(float64(opts.K)))
 	all, err := transient.ReachProbAll(e.Model, e.GoalSet(goal), t, opts.Transient)
 	if err != nil {
 		return nil, fmt.Errorf("erlang: transient analysis: %w", err)

@@ -17,6 +17,13 @@ type PoissonWeights struct {
 	// W[i-Left] is the unnormalised weight of i; divide by TotalWeight.
 	W           []float64
 	TotalWeight float64
+	// LeftTailMass and RightTailMass bound the true Poisson mass truncated
+	// away below Left and above Right. The small-rate path records the
+	// exactly accumulated dropped sums; the large-rate path records the
+	// Chernoff-style finder bounds it selected the truncation points with.
+	// Each is ≤ eps/2 by construction, so their sum is the Fox–Glynn
+	// contribution to an error-budget ledger.
+	LeftTailMass, RightTailMass float64
 }
 
 // Weight returns the normalised Poisson probability of i, or 0 outside the
@@ -54,35 +61,52 @@ func FoxGlynn(q, eps float64) (*PoissonWeights, error) {
 }
 
 func foxGlynnSmall(q, eps float64) (*PoissonWeights, error) {
-	// Accumulate terms of the Poisson pmf until the tail is below eps/2.
-	// For q < 25 the mode is small, so a linear scan is cheap.
+	// Truncate on *cumulative* dropped mass, eps/2 per side. A per-term
+	// threshold (the historical p < eps/4 test) is wrong here: near q ≈ 25
+	// consecutive terms shrink by only ~q/(q+1) per step, so dozens of
+	// just-under-threshold terms could jointly exceed the advertised eps/2.
+	// For q < 25 the mode is small, so linear scans are cheap.
 	mode := int(q)
 	logP := -q + float64(mode)*math.Log(q) - logFactorial(mode)
 	pMode := math.Exp(logP)
 
-	// Walk left from the mode.
-	left := mode
-	p := pMode
-	for left > 0 {
-		p *= float64(left) / q
-		if p < eps/4 {
+	// Left truncation: pmf(0..mode) by downward recurrence from the mode,
+	// then drop the longest low prefix whose summed mass fits in eps/2.
+	low := make([]float64, mode+1)
+	low[mode] = pMode
+	for i := mode - 1; i >= 0; i-- {
+		low[i] = low[i+1] * float64(i+1) / q
+	}
+	left := 0
+	var leftMass float64
+	for left < mode {
+		if leftMass+low[left] > eps/2 {
 			break
 		}
-		left--
+		leftMass += low[left]
+		left++
 	}
-	// Walk right from the mode until cumulative tail < eps/2.
+	// Right truncation: extend until the total accumulated mass — kept
+	// window plus the dropped left prefix — leaves a true upper tail of at
+	// most eps/2. The ascending sum over the left prefix plus the kept
+	// terms keeps the bound honest in floating point.
+	total := leftMass
+	for i := left; i <= mode; i++ {
+		total += low[i]
+	}
 	right := mode
-	p = pMode
-	total := 0.0
-	for {
+	p := pMode
+	for 1-total > eps/2 {
 		right++
 		p *= q / float64(right)
-		if p < eps/4 && right > mode+2 {
-			break
-		}
+		total += p
 		if right > mode+10_000_000 {
 			return nil, fmt.Errorf("%w: right truncation did not converge for q=%v", ErrAccuracy, q)
 		}
+	}
+	rightMass := 1 - total
+	if rightMass < 0 {
+		rightMass = 0
 	}
 	w := make([]float64, right-left+1)
 	// Fill weights by recurrence from the mode outwards for stability.
@@ -93,10 +117,14 @@ func foxGlynnSmall(q, eps float64) (*PoissonWeights, error) {
 	for i := mode + 1; i <= right; i++ {
 		w[i-left] = w[i-left-1] * q / float64(i)
 	}
+	var sum float64
 	for _, v := range w {
-		total += v
+		sum += v
 	}
-	return &PoissonWeights{Left: left, Right: right, W: w, TotalWeight: total}, nil
+	return &PoissonWeights{
+		Left: left, Right: right, W: w, TotalWeight: sum,
+		LeftTailMass: leftMass, RightTailMass: rightMass,
+	}, nil
 }
 
 func foxGlynnLarge(q, eps float64) (*PoissonWeights, error) {
@@ -106,13 +134,14 @@ func foxGlynnLarge(q, eps float64) (*PoissonWeights, error) {
 	// tail mass is below eps/2.
 	sqrtQ := math.Sqrt(q)
 	var right int
+	var rightMass float64
 	{
 		aLambda := (1 + 1/q) * math.Exp(1.0/16) * math.Sqrt2
 		k := 4.0
 		for {
 			d := 1.0 / (1 - math.Exp(-(2.0/9.0)*(k*math.Sqrt2*sqrtQ+1.5)))
-			bound := aLambda * d * math.Exp(-k*k/2) / (k * math.Sqrt(2*math.Pi))
-			if bound <= eps/2 {
+			rightMass = aLambda * d * math.Exp(-k*k/2) / (k * math.Sqrt(2*math.Pi))
+			if rightMass <= eps/2 {
 				break
 			}
 			k++
@@ -124,12 +153,13 @@ func foxGlynnLarge(q, eps float64) (*PoissonWeights, error) {
 	}
 	// Left truncation point: symmetric bound on the lower tail.
 	var left int
+	var leftMass float64
 	{
 		bLambda := (1 + 1/q) * math.Exp(1.0/(8*q))
 		k := 4.0
 		for {
-			bound := bLambda * math.Exp(-k*k/2) / (k * math.Sqrt(2*math.Pi))
-			if bound <= eps/2 {
+			leftMass = bLambda * math.Exp(-k*k/2) / (k * math.Sqrt(2*math.Pi))
+			if leftMass <= eps/2 {
 				break
 			}
 			k++
@@ -137,9 +167,13 @@ func foxGlynnLarge(q, eps float64) (*PoissonWeights, error) {
 				return nil, fmt.Errorf("%w: left truncation for q=%v", ErrAccuracy, q)
 			}
 		}
+		// For q just above the small/large switch at 25, mode − k·√q − 1.5
+		// goes negative (k ≥ 4 ⇒ mode − 4·5 − 1.5 < 0 up to q ≈ 47): the
+		// window then starts at 0 and nothing is truncated on the left.
 		left = int(math.Floor(float64(mode) - k*sqrtQ - 1.5))
-		if left < 0 {
+		if left <= 0 {
 			left = 0
+			leftMass = 0
 		}
 	}
 
@@ -170,7 +204,10 @@ func foxGlynnLarge(q, eps float64) (*PoissonWeights, error) {
 	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
 		return nil, fmt.Errorf("%w: weight normalisation failed for q=%v", ErrAccuracy, q)
 	}
-	return &PoissonWeights{Left: left, Right: right, W: w, TotalWeight: total}, nil
+	return &PoissonWeights{
+		Left: left, Right: right, W: w, TotalWeight: total,
+		LeftTailMass: leftMass, RightTailMass: rightMass,
+	}, nil
 }
 
 // PoissonTruncation returns the smallest N such that the Poisson(q)

@@ -65,6 +65,102 @@ func TestFoxGlynnLargeRates(t *testing.T) {
 	}
 }
 
+// TestFoxGlynnSmallCumulativeTail is the regression test for the per-term
+// truncation bug: the historical small-rate path cut both walks at the
+// first term below eps/4, but near q ≈ 25 consecutive terms shrink by only
+// ~q/(q+1), so the *cumulative* dropped mass exceeded the advertised eps/2
+// per side (at q = 20..24.9 with eps = 1e-1/1e-2 the true tail outside the
+// window reached several times eps). The fix truncates on accumulated
+// mass, which this test asserts directly against the exact pmf.
+func TestFoxGlynnSmallCumulativeTail(t *testing.T) {
+	for _, q := range []float64{1, 5, 20, 24.9} {
+		for _, eps := range []float64{1e-1, 1e-2, 1e-4, 1e-8, 1e-12} {
+			w, err := FoxGlynn(q, eps)
+			if err != nil {
+				t.Fatalf("FoxGlynn(%v, %v): %v", q, eps, err)
+			}
+			var kept float64
+			for i := w.Left; i <= w.Right; i++ {
+				kept += poissonRef(q, i)
+			}
+			// The mass truly outside [Left, Right] must fit in eps (eps/2
+			// per side); 1e-13 absorbs the reference summation rounding.
+			if tail := 1 - kept; tail > eps+1e-13 {
+				t.Errorf("q=%v eps=%v: true mass outside window [%d,%d] is %g > eps",
+					q, eps, w.Left, w.Right, tail)
+			}
+			// The ledgered per-side masses must bound the true tails and
+			// respect the per-side budget.
+			if w.LeftTailMass > eps/2 || w.RightTailMass > eps/2 {
+				t.Errorf("q=%v eps=%v: ledgered tails %g/%g exceed eps/2",
+					q, eps, w.LeftTailMass, w.RightTailMass)
+			}
+			var lo float64
+			for i := 0; i < w.Left; i++ {
+				lo += poissonRef(q, i)
+			}
+			if lo > w.LeftTailMass+1e-13 {
+				t.Errorf("q=%v eps=%v: true left tail %g exceeds ledgered %g",
+					q, eps, lo, w.LeftTailMass)
+			}
+			if hi := 1 - kept - lo; hi > w.RightTailMass+1e-13 {
+				t.Errorf("q=%v eps=%v: true right tail %g exceeds ledgered %g",
+					q, eps, hi, w.RightTailMass)
+			}
+		}
+	}
+}
+
+// TestFoxGlynnBoundaryContinuity pins the small/large hand-off at q = 25:
+// both paths must reproduce the exact pmf at their own rate on the shared
+// support, the large path's left truncation must clamp at 0 (for q just
+// above 25 the finder's mode − k·√q − 1.5 is negative), and the two
+// windows may not drift apart by more than the pmf's own sensitivity to
+// the 2e-6 rate difference.
+func TestFoxGlynnBoundaryContinuity(t *testing.T) {
+	const eps = 1e-12
+	qLo, qHi := 25-1e-6, 25+1e-6
+	lo, err := FoxGlynn(qLo, eps) // small-rate path
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := FoxGlynn(qHi, eps) // large-rate path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Left != 0 {
+		t.Errorf("large path at q=%v: left = %d, want the 0 clamp", qHi, hi.Left)
+	}
+	if hi.LeftTailMass != 0 {
+		t.Errorf("clamped left truncation must ledger zero mass, got %g", hi.LeftTailMass)
+	}
+	from, to := lo.Left, lo.Right
+	if hi.Left > from {
+		from = hi.Left
+	}
+	if hi.Right < to {
+		to = hi.Right
+	}
+	if to-from < 20 {
+		t.Fatalf("shared support [%d,%d] suspiciously narrow (windows [%d,%d] and [%d,%d])",
+			from, to, lo.Left, lo.Right, hi.Left, hi.Right)
+	}
+	for i := from; i <= to; i++ {
+		refLo, refHi := poissonRef(qLo, i), poissonRef(qHi, i)
+		if d := math.Abs(lo.Weight(i) - refLo); d > 1e-12*(1+refLo) {
+			t.Errorf("small path weight(%d) off by %g", i, d)
+		}
+		if d := math.Abs(hi.Weight(i) - refHi); d > 1e-12*(1+refHi) {
+			t.Errorf("large path weight(%d) off by %g", i, d)
+		}
+		// Cross-path continuity: the pmf itself moves by O(Δq·|i−q|/q·pmf)
+		// ≈ 1e-7 at most across the 2e-6 rate gap; 1e-6 gives slack.
+		if d := math.Abs(lo.Weight(i) - hi.Weight(i)); d > 1e-6 {
+			t.Errorf("paths disagree at %d by %g across the q=25 boundary", i, d)
+		}
+	}
+}
+
 func TestFoxGlynnRejectsBadInput(t *testing.T) {
 	if _, err := FoxGlynn(-1, 1e-6); err == nil {
 		t.Error("negative rate accepted")

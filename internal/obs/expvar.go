@@ -1,0 +1,22 @@
+package obs
+
+import "expvar"
+
+// Publish exposes the recorder's live report on the process-wide expvar
+// registry under the given name, so long-running embedders get the
+// numerics report over the standard /debug/vars endpoint for free. eps is
+// evaluated per scrape, letting the budget verdict track the embedder's
+// current accuracy setting. Publishing the same name twice is a no-op
+// (expvar itself panics on duplicates); a nil recorder publishes nothing.
+func Publish(name string, r *Recorder, eps func() float64) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		var e float64
+		if eps != nil {
+			e = eps()
+		}
+		return r.Report(e)
+	}))
+}

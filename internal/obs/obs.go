@@ -1,0 +1,427 @@
+// Package obs is the numerics-observability layer of the checker: a
+// zero-dependency (stdlib-only) instrumentation substrate threaded through
+// the model-checking core and the Section 4 numerical procedures. It
+// carries three kinds of signal:
+//
+//   - an error-budget ledger: each procedure records named error
+//     contributions (Fox–Glynn truncation masses, the steady-state
+//     detection tail charge, the Sericola series remainder, …) so a
+//     Check/Values call can return a machine-readable report proving that
+//     the summed provable contributions stay within the configured ε;
+//   - counters and gauges: work measures such as memo hits, pool reuses,
+//     Poisson window widths, Sericola levels and matrix–vector products;
+//   - spans: wall-clock accounting per pipeline phase (Sat reduction,
+//     uniformisation, sweeps, corner evaluations).
+//
+// Everything is race-clean and nil-safe: a nil *Recorder — the default —
+// turns every call into a pointer comparison, so the instrumented hot
+// paths cost nothing when observability is off. Call sites therefore
+// thread an optional recorder unconditionally, exactly like the
+// nil-receiver-safe VecPool.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a ledger charge.
+type Kind int
+
+const (
+	// Bounded charges are provable error contributions — truncated
+	// probability masses and convergence-tail charges with a rigorous
+	// bound. Their sum is the quantity the report proves ≤ ε.
+	Bounded Kind = iota
+	// Indicative charges describe approximation-order terms with no
+	// a-priori bound (the Erlang-k coefficient of variation, the O(d)
+	// discretisation term, clamped cancellation residue). They are
+	// reported for scheme selection but excluded from the budget proof,
+	// following Hahn & Hartmanns' distinction between guaranteed and
+	// heuristic error accounting.
+	Indicative
+)
+
+// String names the kind for reports and JSON.
+func (k Kind) String() string {
+	if k == Indicative {
+		return "indicative"
+	}
+	return "bounded"
+}
+
+// MarshalText makes Kind render as its name in JSON reports.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Charge is one named error contribution in the ledger.
+type Charge struct {
+	// Component is the procedure or kernel that produced the error
+	// (e.g. "foxglynn", "steady", "sericola", "discretise").
+	Component string `json:"component"`
+	// Term names the specific contribution within the component
+	// (e.g. "left-tail", "right-tail", "series-remainder").
+	Term string `json:"term"`
+	// Amount is the magnitude of the contribution. For Bounded charges it
+	// is an upper bound on lost probability mass; for Indicative charges
+	// it is the scheme-order quantity documented per term.
+	Amount float64 `json:"amount"`
+	// Kind separates provable contributions from indicative ones.
+	Kind Kind `json:"kind"`
+}
+
+// Counter is a cumulative event count. The zero value is ready to use;
+// methods on a nil *Counter are no-ops, so handles obtained from a nil
+// Recorder can be used unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value (or running-maximum) float measurement. Methods on
+// a nil *Gauge are no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetMax records v only if it exceeds the current value.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// SpanStat aggregates the completed spans of one phase name.
+type SpanStat struct {
+	// Count is how many spans of this name have ended.
+	Count int64 `json:"count"`
+	// Nanos is their summed wall-clock duration.
+	Nanos int64 `json:"nanos"`
+}
+
+// Span is an in-flight phase timing started by Recorder.StartSpan. The
+// zero value (from a nil recorder) makes End a no-op; Span is a small
+// value type so starting and ending a span allocates nothing.
+type Span struct {
+	r     *Recorder
+	name  string
+	start time.Time
+}
+
+// End records the span's duration under its phase name.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.recordSpan(s.name, time.Since(s.start))
+}
+
+// Recorder collects the three signal kinds for one checker (or one CLI
+// invocation). All methods are safe for concurrent use and nil-safe: every
+// method on a nil *Recorder returns immediately (handles come back nil and
+// are themselves nil-safe), which is the compiled-out fast path for
+// disabled observability.
+type Recorder struct {
+	mu       sync.Mutex
+	counters map[string]*Counter  // guarded by mu
+	gauges   map[string]*Gauge    // guarded by mu
+	spans    map[string]*SpanStat // guarded by mu
+	ledger   []Charge             // guarded by mu
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		spans:    make(map[string]*SpanStat),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// recorder returns a nil handle whose methods are no-ops. Hot loops should
+// fetch the handle once and Add on it, not look it up per iteration.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil recorder
+// returns a nil handle whose methods are no-ops.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Charge appends a Bounded error contribution to the ledger. Amounts from
+// repeated calls with the same (component, term) accumulate; Report merges
+// them into one row.
+func (r *Recorder) Charge(component, term string, amount float64) {
+	r.charge(Charge{Component: component, Term: term, Amount: amount, Kind: Bounded})
+}
+
+// ChargeIndicative appends an Indicative (unbounded, scheme-order) term.
+func (r *Recorder) ChargeIndicative(component, term string, amount float64) {
+	r.charge(Charge{Component: component, Term: term, Amount: amount, Kind: Indicative})
+}
+
+func (r *Recorder) charge(c Charge) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ledger = append(r.ledger, c)
+	r.mu.Unlock()
+}
+
+// StartSpan begins timing the named phase; call End on the returned Span.
+func (r *Recorder) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+func (r *Recorder) recordSpan(name string, d time.Duration) {
+	r.mu.Lock()
+	st, ok := r.spans[name]
+	if !ok {
+		st = &SpanStat{}
+		r.spans[name] = st
+	}
+	st.Count++
+	st.Nanos += d.Nanoseconds()
+	r.mu.Unlock()
+}
+
+// Reset clears the ledger, all counters, gauges and span statistics, so
+// one recorder can account for successive checks independently.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ledger = nil
+	r.spans = make(map[string]*SpanStat)
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, k := range sortedKeys(r.counters) {
+		counters = append(counters, r.counters[k])
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, k := range sortedKeys(r.gauges) {
+		gauges = append(gauges, r.gauges[k])
+	}
+	r.mu.Unlock()
+	// Handles stay valid across Reset (call sites may have hoisted them);
+	// zero them outside the lock — their own operations are atomic.
+	for _, c := range counters {
+		c.v.Store(0)
+	}
+	for _, g := range gauges {
+		g.Set(0)
+	}
+}
+
+// Report is the machine-readable numerics report of one recorder snapshot.
+type Report struct {
+	// Epsilon is the configured accuracy the budget is proved against
+	// (0 when the caller did not supply one).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Budget lists the merged Bounded charges, sorted by component/term.
+	Budget []Charge `json:"budget,omitempty"`
+	// BudgetTotal is the sum of all Bounded amounts.
+	BudgetTotal float64 `json:"budget_total"`
+	// BudgetOK reports BudgetTotal ≤ Epsilon (false when Epsilon is 0 and
+	// any charge exists — an unconfigured budget proves nothing).
+	BudgetOK bool `json:"budget_ok"`
+	// Indicative lists the merged Indicative charges.
+	Indicative []Charge `json:"indicative,omitempty"`
+	// Counters, Gauges and Spans snapshot the work measures.
+	Counters map[string]int64    `json:"counters,omitempty"`
+	Gauges   map[string]float64  `json:"gauges,omitempty"`
+	Spans    map[string]SpanStat `json:"spans,omitempty"`
+}
+
+// Report snapshots the recorder into a Report, merging repeated charges of
+// the same (component, term, kind) by summing their amounts and proving
+// the bounded total against eps. A nil recorder returns nil.
+func (r *Recorder) Report(eps float64) *Report {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ledger := make([]Charge, len(r.ledger))
+	copy(ledger, r.ledger)
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	spans := make(map[string]SpanStat, len(r.spans))
+	for name, st := range r.spans {
+		spans[name] = *st
+	}
+	r.mu.Unlock()
+
+	merged := make(map[[3]string]*Charge)
+	var order [][3]string
+	for _, c := range ledger {
+		key := [3]string{c.Component, c.Term, c.Kind.String()}
+		if m, ok := merged[key]; ok {
+			m.Amount += c.Amount
+			continue
+		}
+		cc := c
+		merged[key] = &cc
+		order = append(order, key)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	rep := &Report{
+		Epsilon:  eps,
+		Counters: counters,
+		Gauges:   gauges,
+		Spans:    spans,
+	}
+	for _, key := range order {
+		c := *merged[key]
+		if c.Kind == Bounded {
+			rep.Budget = append(rep.Budget, c)
+			rep.BudgetTotal += c.Amount
+		} else {
+			rep.Indicative = append(rep.Indicative, c)
+		}
+	}
+	rep.BudgetOK = rep.BudgetTotal <= eps && !math.IsNaN(rep.BudgetTotal)
+	if eps == 0 && len(rep.Budget) > 0 {
+		rep.BudgetOK = false
+	}
+	return rep
+}
+
+// Format writes the report in the human-readable layout used by
+// `csrlcheck -stats`. It is deterministic (sorted keys) so tests and
+// diffs can rely on the ordering.
+func (rep *Report) Format() string {
+	if rep == nil {
+		return ""
+	}
+	var b []byte
+	appendf := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	appendf("numerics report:\n")
+	appendf("  error budget (epsilon = %g):\n", rep.Epsilon)
+	for _, c := range rep.Budget {
+		appendf("    %-34s %.6g\n", c.Component+"/"+c.Term, c.Amount)
+	}
+	verdict := "EXCEEDED"
+	if rep.BudgetOK {
+		verdict = "OK"
+	}
+	appendf("    %-34s %.6g <= %g: %s\n", "total", rep.BudgetTotal, rep.Epsilon, verdict)
+	if len(rep.Indicative) > 0 {
+		appendf("  indicative terms (not summed into the budget):\n")
+		for _, c := range rep.Indicative {
+			appendf("    %-34s %.6g\n", c.Component+"/"+c.Term, c.Amount)
+		}
+	}
+	if len(rep.Counters) > 0 {
+		appendf("  counters:\n")
+		for _, name := range sortedKeys(rep.Counters) {
+			appendf("    %-34s %d\n", name, rep.Counters[name])
+		}
+	}
+	if len(rep.Gauges) > 0 {
+		appendf("  gauges:\n")
+		for _, name := range sortedKeys(rep.Gauges) {
+			appendf("    %-34s %g\n", name, rep.Gauges[name])
+		}
+	}
+	if len(rep.Spans) > 0 {
+		appendf("  spans:\n")
+		for _, name := range sortedKeys(rep.Spans) {
+			st := rep.Spans[name]
+			appendf("    %-34s %d call(s), %v\n", name, st.Count, time.Duration(st.Nanos))
+		}
+	}
+	return string(b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsInert pins the disabled fast path: every operation on a
+// nil recorder (and on the nil handles it returns) must be a no-op, since
+// the numerical kernels thread the recorder unconditionally.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Charge("foxglynn", "left-tail", 1e-12)
+	r.ChargeIndicative("discretise", "step", 0.5)
+	r.Reset()
+	c := r.Counter("memo.hits")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter must stay 0")
+	}
+	g := r.Gauge("foxglynn.window")
+	g.Set(3)
+	g.SetMax(7)
+	if g.Value() != 0 {
+		t.Error("nil gauge must stay 0")
+	}
+	r.StartSpan("sweep").End()
+	if rep := r.Report(1e-9); rep != nil {
+		t.Errorf("nil recorder must report nil, got %+v", rep)
+	}
+}
+
+func TestLedgerMergesAndProvesBudget(t *testing.T) {
+	r := New()
+	r.Charge("foxglynn", "left-tail", 1e-12)
+	r.Charge("foxglynn", "right-tail", 2e-12)
+	r.Charge("foxglynn", "left-tail", 1e-12) // same term again: merged
+	r.ChargeIndicative("discretise", "step", 1.0/32)
+
+	rep := r.Report(1e-9)
+	if len(rep.Budget) != 2 {
+		t.Fatalf("want 2 merged bounded rows, got %d: %+v", len(rep.Budget), rep.Budget)
+	}
+	if rep.Budget[0].Term != "left-tail" || rep.Budget[0].Amount != 2e-12 {
+		t.Errorf("merged left-tail row wrong: %+v", rep.Budget[0])
+	}
+	if want := 4e-12; rep.BudgetTotal != want {
+		t.Errorf("budget total %g, want %g", rep.BudgetTotal, want)
+	}
+	if !rep.BudgetOK {
+		t.Error("4e-12 <= 1e-9 must pass")
+	}
+	if len(rep.Indicative) != 1 || rep.Indicative[0].Component != "discretise" {
+		t.Errorf("indicative rows: %+v", rep.Indicative)
+	}
+	if got := r.Report(1e-12); got.BudgetOK {
+		t.Error("4e-12 <= 1e-12 must fail")
+	}
+	// An unconfigured epsilon proves nothing once charges exist.
+	if got := r.Report(0); got.BudgetOK {
+		t.Error("eps=0 with charges must not report BudgetOK")
+	}
+	if got := New().Report(0); !got.BudgetOK {
+		t.Error("an empty ledger is trivially within any budget")
+	}
+}
+
+func TestCountersGaugesSpans(t *testing.T) {
+	r := New()
+	c := r.Counter("sweep.products")
+	c.Add(10)
+	c.Inc()
+	if r.Counter("sweep.products") != c {
+		t.Error("counter handles must be stable per name")
+	}
+	g := r.Gauge("poisson.window")
+	g.Set(5)
+	g.SetMax(3) // lower: ignored
+	g.SetMax(9)
+	s := r.StartSpan("uniformise")
+	time.Sleep(time.Millisecond)
+	s.End()
+	r.StartSpan("uniformise").End()
+
+	rep := r.Report(0)
+	if rep.Counters["sweep.products"] != 11 {
+		t.Errorf("counter = %d, want 11", rep.Counters["sweep.products"])
+	}
+	if rep.Gauges["poisson.window"] != 9 {
+		t.Errorf("gauge = %g, want 9", rep.Gauges["poisson.window"])
+	}
+	st := rep.Spans["uniformise"]
+	if st.Count != 2 || st.Nanos <= 0 {
+		t.Errorf("span stat = %+v", st)
+	}
+}
+
+func TestResetKeepsHandlesValid(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	c.Add(3)
+	g.Set(4)
+	r.Charge("a", "b", 1)
+	r.StartSpan("s").End()
+	r.Reset()
+	rep := r.Report(1)
+	if rep.BudgetTotal != 0 || len(rep.Spans) != 0 {
+		t.Errorf("reset left state behind: %+v", rep)
+	}
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("reset must zero existing handles")
+	}
+	c.Inc() // the hoisted handle keeps working after Reset
+	if r.Report(1).Counters["x"] != 1 {
+		t.Error("handle detached from the recorder by Reset")
+	}
+}
+
+// TestConcurrentUse exercises every mutating entry point from many
+// goroutines; run under -race (CI does) this is the race-cleanliness gate.
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			g := r.Gauge("width")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.SetMax(float64(j))
+				r.Charge("foxglynn", "right-tail", 1e-15)
+				r.StartSpan("sweep").End()
+			}
+		}()
+	}
+	wg.Wait()
+	rep := r.Report(1)
+	if rep.Counters["hits"] != 8000 {
+		t.Errorf("hits = %d, want 8000", rep.Counters["hits"])
+	}
+	if rep.Gauges["width"] != 999 {
+		t.Errorf("width = %g, want 999", rep.Gauges["width"])
+	}
+	if got, want := rep.BudgetTotal, 8000*1e-15; math.Abs(got-want) > 1e-18 {
+		t.Errorf("budget total = %g, want %g", got, want)
+	}
+	if rep.Spans["sweep"].Count != 8000 {
+		t.Errorf("span count = %d, want 8000", rep.Spans["sweep"].Count)
+	}
+}
+
+func TestReportJSONAndFormat(t *testing.T) {
+	r := New()
+	r.Charge("foxglynn", "left-tail", 1e-12)
+	r.ChargeIndicative("erlang", "k-approximation", 0.0625)
+	r.Counter("memo.hits").Add(4)
+	rep := r.Report(1e-9)
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report must marshal: %v", err)
+	}
+	for _, want := range []string{`"budget_ok":true`, `"kind":"bounded"`, `"kind":"indicative"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+	text := rep.Format()
+	for _, want := range []string{"foxglynn/left-tail", "erlang/k-approximation", "OK", "memo.hits"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := New()
+	r.Charge("foxglynn", "right-tail", 1e-13)
+	eps := 1e-9
+	Publish("test.numerics", r, func() float64 { return eps })
+	Publish("test.numerics", r, nil) // duplicate: must not panic
+	v := expvar.Get("test.numerics")
+	if v == nil {
+		t.Fatal("expvar variable not published")
+	}
+	if got := v.String(); !strings.Contains(got, `"budget_ok":true`) {
+		t.Errorf("expvar payload: %s", got)
+	}
+	var nilRec *Recorder
+	Publish("test.numerics.nil", nilRec, nil)
+	if expvar.Get("test.numerics.nil") != nil {
+		t.Error("nil recorder must not publish")
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/obs"
 	"github.com/performability/csrl/internal/parallel"
 	"github.com/performability/csrl/internal/sparse"
 	"github.com/performability/csrl/internal/transient"
@@ -73,6 +74,11 @@ type Options struct {
 	// checked back in before ReachProbAll returns; the result vector is a
 	// plain allocation owned by the caller.
 	Pool *sparse.VecPool
+	// Obs, when non-nil, receives the numerics-observability signals: the
+	// Poisson series remainder past N_ε in the error-budget ledger, the
+	// clamp residue as an indicative entry, level/band gauges and the
+	// recursion span. It is forwarded to the transient fallback.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions matches the most accurate row of Table 2.
@@ -185,6 +191,23 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 	}
 	lf := numeric.LogFactorials(nSteps)
 
+	if opts.Obs != nil {
+		// The a-priori bound guarantees the mass past N_ε is below ε; the
+		// ledger records the actual series remainder 1 − Σ_{n≤N} pois(n),
+		// which the inner sums (bounded by 1, Cor. 5.8) cannot exceed.
+		var kept float64
+		for k := 0; k <= nSteps; k++ {
+			kept += poisPMF(k)
+		}
+		rem := 1 - kept
+		if rem < 0 {
+			rem = 0
+		}
+		opts.Obs.Charge("sericola", "series-remainder", rem)
+		opts.Obs.Gauge("sericola.levels").SetMax(float64(nSteps))
+		opts.Obs.Gauge("sericola.bands").SetMax(float64(mBands))
+	}
+
 	// Goal-column slicing: the recursion only needs the columns Theorem 2
 	// reads. FullWidth carries every column for the bitwise crosscheck.
 	goalIdx := goal.Slice()
@@ -197,9 +220,12 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 	}
 	g := len(cols)
 
+	span := opts.Obs.StartSpan("sericola.recursion")
 	hMat, tMat := run(p, rho, shifted, h, x, poisPMF, lf, nSteps, opts.Workers, cols, opts.Pool)
+	span.End()
 
 	res := &Result{Values: make([]float64, n), N: nSteps}
+	var clampResidue float64
 	for i := 0; i < n; i++ {
 		var v float64
 		for j, col := range cols {
@@ -219,14 +245,26 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 			if v < -clampTol {
 				return nil, fmt.Errorf("sericola: value %g at state %d is below 0 beyond the %g cancellation tolerance", v, i, clampTol)
 			}
+			if -v > clampResidue {
+				clampResidue = -v
+			}
 			v = 0
 		case v > 1:
 			if v > 1+clampTol {
 				return nil, fmt.Errorf("sericola: value %g at state %d exceeds 1 beyond the %g cancellation tolerance", v, i, clampTol)
 			}
+			if v-1 > clampResidue {
+				clampResidue = v - 1
+			}
 			v = 1
 		}
 		res.Values[i] = v
+	}
+	if opts.Obs != nil && clampResidue > 0 {
+		// Cancellation noise absorbed by the [0,1] clamp — a measured
+		// round-off magnitude, not a provable truncation bound, so it rides
+		// in the indicative section.
+		opts.Obs.ChargeIndicative("sericola", "clamp-residue", clampResidue)
 	}
 	opts.Pool.Put(hMat)
 	opts.Pool.Put(tMat)
@@ -579,6 +617,7 @@ func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda float64, opts Optio
 		Workers:      opts.Workers,
 		SteadyDetect: opts.SteadyDetect,
 		Pool:         opts.Pool,
+		Obs:          opts.Obs,
 		// Cache's method set is identical to transient.Cache's, so the
 		// interface value converts directly; nil stays nil.
 		Cache: opts.Cache,

@@ -27,8 +27,25 @@ const poolCapPerSize = 256
 //     region boundary (a worker that Gets inside its chunk Puts inside the
 //     chunk; the region owner Gets/Puts outside it).
 type VecPool struct {
-	mu   sync.Mutex
-	free map[int][][]float64 // guarded by mu
+	mu         sync.Mutex
+	free       map[int][][]float64 // guarded by mu
+	gets       int64               // guarded by mu
+	reuses     int64               // guarded by mu
+	allocBytes int64               // guarded by mu
+}
+
+// PoolStats is a snapshot of a pool's cumulative traffic, the work
+// dimension the observability layer reports: how many buffers were handed
+// out, how many of those were recycled rather than freshly allocated, and
+// how many bytes the pool had to allocate in total.
+type PoolStats struct {
+	// Gets counts every Get call.
+	Gets int64 `json:"gets"`
+	// Reuses counts Gets satisfied from the free list.
+	Reuses int64 `json:"reuses"`
+	// AllocBytes is the total size of freshly allocated buffers (8 bytes
+	// per float64), i.e. the slab traffic the reuse saved everyone else.
+	AllocBytes int64 `json:"alloc_bytes"`
 }
 
 // NewVecPool returns an empty pool.
@@ -43,11 +60,14 @@ func (p *VecPool) Get(n int) []float64 {
 		return make([]float64, n)
 	}
 	p.mu.Lock()
+	p.gets++
 	list := p.free[n]
 	if len(list) == 0 {
+		p.allocBytes += 8 * int64(n)
 		p.mu.Unlock()
 		return make([]float64, n)
 	}
+	p.reuses++
 	v := list[len(list)-1]
 	list[len(list)-1] = nil
 	p.free[n] = list[:len(list)-1]
@@ -70,6 +90,17 @@ func (p *VecPool) Put(v []float64) {
 		p.free[len(v)] = append(p.free[len(v)], v)
 	}
 	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pool's cumulative traffic. A nil pool
+// reports zeroes.
+func (p *VecPool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Gets: p.gets, Reuses: p.reuses, AllocBytes: p.allocBytes}
 }
 
 // Len reports how many free buffers of length n the pool currently holds

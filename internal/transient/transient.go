@@ -12,6 +12,7 @@ import (
 
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/obs"
 	"github.com/performability/csrl/internal/sparse"
 )
 
@@ -58,11 +59,13 @@ type Options struct {
 	// 0 = runtime.NumCPU(), 1 = the exact sequential legacy path.
 	Workers int
 	// SteadyDetect controls steady-state detection: when the sweep iterate
-	// moves by less than ε/(λt) in the ∞-norm, the remaining Poisson tail
-	// is charged to the converged vector and the sweep stops early. The
-	// default (zero value) is on; the added error is at most ε (see
-	// DESIGN.md for the tail bound). Detection is deterministic, so results
-	// stay bitwise independent of Workers either way.
+	// moves by less than (ε/2)/(λt) in the ∞-norm, the remaining Poisson
+	// tail is charged to the converged vector and the sweep stops early.
+	// The default (zero value) is on; Epsilon is then split evenly between
+	// the Fox–Glynn truncation and the detection tail so the combined error
+	// stays within ε (see DESIGN.md for the tail bound). Detection is
+	// deterministic, so results stay bitwise independent of Workers either
+	// way.
 	SteadyDetect SteadyMode
 	// Cache, when non-nil, memoises uniformised matrices and Fox–Glynn
 	// weight tables across calls.
@@ -72,6 +75,12 @@ type Options struct {
 	// the sweep returns; ownership of the pool-born result slice transfers
 	// to the caller, who may Put it back once dead or simply drop it.
 	Pool *sparse.VecPool
+	// Obs, when non-nil, receives the numerics-observability signals of
+	// every sweep: the Fox–Glynn truncation masses and the steady-state
+	// tail charge in the error-budget ledger, product/window counters and
+	// the uniformise/sweep spans. Nil (the default) compiles the
+	// instrumentation down to pointer comparisons.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions returns the accuracy used throughout the test-suite.
@@ -93,13 +102,41 @@ func (o Options) uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error) {
 	return m.Uniformised(lambda)
 }
 
-// poissonWeights returns the Fox–Glynn table, consulting the cache when
-// one is configured.
-func (o Options) poissonWeights(q float64) (*numeric.PoissonWeights, error) {
-	if o.Cache != nil {
-		return o.Cache.Poisson(q, o.Epsilon)
+// budgetSplit divides Epsilon between the two truncation error sources of
+// a sweep. With steady-state detection off, the Fox–Glynn truncation gets
+// the whole budget, as always. With detection on, each source gets half:
+// before this split the detector charged the Poisson tail at δ = ε/q *on
+// top of* a full-ε Fox–Glynn table, silently stacking the advertised ε to
+// 2ε — exactly the kind of unaccounted contribution the error-budget
+// ledger exists to expose. The split restores the ≤ ε guarantee.
+func (o Options) budgetSplit() (fgEps, steadyEps float64) {
+	if o.SteadyDetect.enabled() {
+		return o.Epsilon / 2, o.Epsilon / 2
 	}
-	return numeric.FoxGlynn(q, o.Epsilon)
+	return o.Epsilon, 0
+}
+
+// poissonWeights returns the Fox–Glynn table for truncation budget fgEps,
+// consulting the cache when one is configured, and ledgers the table's
+// truncation masses — the cache stores the masses with the table, so hits
+// charge the same amounts as the original computation.
+func (o Options) poissonWeights(q, fgEps float64) (*numeric.PoissonWeights, error) {
+	var w *numeric.PoissonWeights
+	var err error
+	if o.Cache != nil {
+		w, err = o.Cache.Poisson(q, fgEps)
+	} else {
+		w, err = numeric.FoxGlynn(q, fgEps)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.Obs != nil {
+		o.Obs.Charge("foxglynn", "left-tail", w.LeftTailMass)
+		o.Obs.Charge("foxglynn", "right-tail", w.RightTailMass)
+		o.Obs.Gauge("foxglynn.window").SetMax(float64(w.Right - w.Left + 1))
+	}
+	return w, nil
 }
 
 // sweep evaluates the uniformisation series Σ_n w(n)·vₙ with v₀ = v and
@@ -108,13 +145,15 @@ func (o Options) poissonWeights(q float64) (*numeric.PoissonWeights, error) {
 //
 // Steady-state detection: P is stochastic, so the iteration is
 // non-expansive in the ∞-norm. Once one application moves the iterate by
-// δ < ε/q (q = λt), every later iterate vₙ₊ₖ stays within k·δ of the
-// converged vector, and charging the whole remaining Poisson tail to it
-// mis-weights the series by at most Σ_k w(n+k)·k·δ ≤ E[N]·δ ≈ q·δ < ε —
-// the same budget the Fox–Glynn truncation already grants. The tail mass
-// and the convergence test are computed identically for every Workers
-// value, so the early exit preserves bitwise determinism across worker
-// counts.
+// δ' < δ = (ε/2)/q (q = λt), every later iterate vₙ₊ₖ stays within k·δ'
+// of the converged vector, and charging the whole remaining Poisson tail
+// to it mis-weights the series by at most Σ_k w(n+k)·k·δ' ≤ E[N]·δ ≈
+// q·δ = ε/2 — the half of the budget that budgetSplit reserved for it
+// (the Fox–Glynn truncation holds the other half). The ledger records the
+// sharper measured charge δ'·Σ_k (k−n)·w(k) rather than the worst case.
+// The tail mass and the convergence test are computed identically for
+// every Workers value, so the early exit preserves bitwise determinism
+// across worker counts.
 //
 // Scratch vectors come from opts.Pool (nil-safe) and are returned to it;
 // the accumulator is pool-born and handed to the caller.
@@ -126,7 +165,8 @@ func sweep(p *sparse.CSR, v []float64, w *numeric.PoissonWeights, q float64, opt
 	next := pool.Get(n)
 	acc := pool.Get(n)
 	detect := opts.SteadyDetect.enabled()
-	delta := opts.Epsilon / q
+	_, steadyEps := opts.budgetSplit()
+	delta := steadyEps / q
 	products := 0
 	for step := 0; step <= w.Right; step++ {
 		if step >= w.Left {
@@ -141,20 +181,33 @@ func sweep(p *sparse.CSR, v []float64, w *numeric.PoissonWeights, q float64, opt
 			p.MulVecPar(next, cur, opts.Workers) // column vector: next = P·cur
 		}
 		products++
-		if detect && sparse.MaxDiff(next, cur) < delta {
-			// Converged: charge the remaining Poisson mass to the fixed
-			// point instead of applying w.Right − step more no-op products.
-			var tail float64
-			for k := step + 1; k <= w.Right; k++ {
-				tail += w.Weight(k)
+		if detect {
+			if diff := sparse.MaxDiff(next, cur); diff < delta {
+				// Converged: charge the remaining Poisson mass to the fixed
+				// point instead of applying w.Right − step more no-op
+				// products. kSum = Σ (k − step)·w(k) weights the measured
+				// step size diff into the exact series mis-weighting this
+				// shortcut causes.
+				var tail, kSum float64
+				for k := step + 1; k <= w.Right; k++ {
+					tail += w.Weight(k)
+					kSum += float64(k-step) * w.Weight(k)
+				}
+				sparse.AXPY(tail, next, acc)
+				if opts.Obs != nil {
+					opts.Obs.Counter("steady.detections").Inc()
+					opts.Obs.Charge("steady", "tail-charge", diff*kSum)
+				}
+				break
 			}
-			sparse.AXPY(tail, next, acc)
-			break
 		}
 		cur, next = next, cur
 	}
 	pool.Put(cur)
 	pool.Put(next)
+	if opts.Obs != nil {
+		opts.Obs.Counter("sweep.products").Add(int64(products))
+	}
 	return acc, products
 }
 
@@ -182,15 +235,20 @@ func DistributionFrom(m *mrm.MRM, init []float64, t float64, opts Options) ([]fl
 	if lambda == 0 {
 		lambda = m.UniformisationRate()
 	}
+	span := opts.Obs.StartSpan("transient.uniformise")
 	p, err := opts.uniformised(m, lambda)
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	w, err := opts.poissonWeights(lambda * t)
+	fgEps, _ := opts.budgetSplit()
+	w, err := opts.poissonWeights(lambda*t, fgEps)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
+	span = opts.Obs.StartSpan("transient.sweep")
 	acc, _ := sweep(p, init, w, lambda*t, opts, true)
+	span.End()
 	return acc, nil
 }
 
@@ -227,15 +285,20 @@ func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float
 	if lambda == 0 {
 		lambda = m.UniformisationRate()
 	}
+	span := opts.Obs.StartSpan("transient.uniformise")
 	p, err := opts.uniformised(m, lambda)
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	w, err := opts.poissonWeights(lambda * t)
+	fgEps, _ := opts.budgetSplit()
+	w, err := opts.poissonWeights(lambda*t, fgEps)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
+	span = opts.Obs.StartSpan("transient.sweep")
 	acc, _ := sweep(p, v, w, lambda*t, opts, false)
+	span.End()
 	return acc, nil
 }
 
