@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-github lint-consistency bench-smoke bench-check fmt vet
+.PHONY: all build test race lint lint-github lint-consistency lint-dataflow bench-smoke bench-check fmt vet
 
 all: build lint test
 
@@ -26,6 +26,12 @@ lint-github:
 lint-consistency:
 	$(GO) vet -copylocks ./...
 	$(GO) run ./cmd/mrmlint -enable=mutexcopy ./...
+
+# Just the CFG/taint-powered discipline analyzers (they are part of the
+# default `lint` run too; this target isolates them for iterating on the
+# budget/ledger/pool contracts).
+lint-dataflow:
+	$(GO) run ./cmd/mrmlint -enable=epsbudget,ledgercharge,poolescape ./...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .

@@ -13,7 +13,6 @@ package csrl_test
 import (
 	"fmt"
 	"math"
-	"path/filepath"
 	"testing"
 
 	"github.com/performability/csrl/internal/adhoc"
@@ -465,19 +464,25 @@ func BenchmarkAblationLumping(b *testing.B) {
 	})
 }
 
-// BenchmarkLintModule times the mrmlint analyzer suite over a slice of the
-// module's own packages. All registered analyzers share one inspector
-// traversal per package, so this tracks the marginal cost of new analyzers
-// staying well below the cost of another full AST walk each.
+// BenchmarkLintModule times the mrmlint analyzer suite over the whole
+// module. All registered analyzers share one inspector traversal per
+// package, and the dataflow analyzers (epsbudget, ledgercharge, poolescape)
+// add CFG construction plus interprocedural summaries on top; running every
+// package keeps the whole-module wall time inside the bench-smoke budget
+// honest.
 func BenchmarkLintModule(b *testing.B) {
 	b.ReportAllocs()
 	loader, err := lint.NewLoader(".")
 	if err != nil {
 		b.Fatal(err)
 	}
+	dirs, err := loader.Expand(loader.ModuleDir, []string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
 	var pkgs []*lint.Package
-	for _, rel := range []string{"internal/sparse", "internal/numeric", "internal/core"} {
-		pkg, err := loader.LoadDir(filepath.Join(loader.ModuleDir, rel))
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -102,23 +102,42 @@ func emitPlain(w io.Writer, _ string, d lint.Diagnostic) {
 }
 
 // jsonDiagnostic is the stable machine-readable shape: one object per
-// line, file paths module-relative with forward slashes.
+// line, file paths module-relative with forward slashes. Every line is
+// stamped with the producing analyzer's version and the registry hash so a
+// consumer diffing stored findings can tell "the code changed" apart from
+// "the analyzers changed".
 type jsonDiagnostic struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	EndLine  int    `json:"endLine,omitempty"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File            string `json:"file"`
+	Line            int    `json:"line"`
+	Column          int    `json:"column"`
+	EndLine         int    `json:"endLine,omitempty"`
+	Analyzer        string `json:"analyzer"`
+	AnalyzerVersion int    `json:"analyzerVersion"`
+	Registry        string `json:"registry"`
+	Message         string `json:"message"`
+}
+
+// registryStamp fingerprints the analyzer set baked into this binary.
+var registryStamp = lint.RegistryHash()
+
+// analyzerVersion looks up the version of the named analyzer (the zero
+// value is version 1, matching the registry hash convention).
+func analyzerVersion(name string) int {
+	if a := lint.ByName(name); a != nil && a.Version != 0 {
+		return a.Version
+	}
+	return 1
 }
 
 func emitJSON(w io.Writer, moduleDir string, d lint.Diagnostic) {
 	jd := jsonDiagnostic{
-		File:     moduleRelative(moduleDir, d.Pos.Filename),
-		Line:     d.Pos.Line,
-		Column:   d.Pos.Column,
-		Analyzer: d.Analyzer,
-		Message:  d.Message,
+		File:            moduleRelative(moduleDir, d.Pos.Filename),
+		Line:            d.Pos.Line,
+		Column:          d.Pos.Column,
+		Analyzer:        d.Analyzer,
+		AnalyzerVersion: analyzerVersion(d.Analyzer),
+		Registry:        registryStamp,
+		Message:         d.Message,
 	}
 	if d.End.Line > d.Pos.Line && d.End.Filename == d.Pos.Filename {
 		jd.EndLine = d.End.Line

@@ -127,12 +127,14 @@ func TestEmitJSON(t *testing.T) {
 	var out bytes.Buffer
 	emitJSON(&out, "/mod", sampleDiagnostic())
 	var got struct {
-		File     string `json:"file"`
-		Line     int    `json:"line"`
-		Column   int    `json:"column"`
-		EndLine  int    `json:"endLine"`
-		Analyzer string `json:"analyzer"`
-		Message  string `json:"message"`
+		File            string `json:"file"`
+		Line            int    `json:"line"`
+		Column          int    `json:"column"`
+		EndLine         int    `json:"endLine"`
+		Analyzer        string `json:"analyzer"`
+		AnalyzerVersion int    `json:"analyzerVersion"`
+		Registry        string `json:"registry"`
+		Message         string `json:"message"`
 	}
 	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
 		t.Fatalf("output %q is not valid JSON: %v", out.String(), err)
@@ -145,6 +147,12 @@ func TestEmitJSON(t *testing.T) {
 	}
 	if got.Analyzer != "floatcmp" || !strings.Contains(got.Message, "50%") {
 		t.Errorf("payload %+v does not round-trip analyzer/message", got)
+	}
+	if got.AnalyzerVersion < 1 {
+		t.Errorf("analyzerVersion %d, want >= 1", got.AnalyzerVersion)
+	}
+	if got.Registry == "" || got.Registry != lint.RegistryHash() {
+		t.Errorf("registry stamp %q does not match lint.RegistryHash() %q", got.Registry, lint.RegistryHash())
 	}
 	if strings.Count(out.String(), "\n") != 1 {
 		t.Errorf("output %q is not exactly one line", out.String())

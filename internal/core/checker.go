@@ -295,16 +295,29 @@ func (c *Checker) Values(f logic.StateFormula) ([]float64, error) {
 	}
 }
 
-// PathProb returns Pr_s(φ) for every state s.
+// PathProb returns Pr_s(φ) for every state s. The returned slice is a
+// plain allocation owned by the caller: the internal procedures hand back
+// buffers borrowed from the checker's vector pool, and this exported
+// boundary copies them out and checks the borrowed buffer back in, so
+// callers outside the package never hold (or leak) pooled memory.
 func (c *Checker) PathProb(f logic.PathFormula) ([]float64, error) {
+	var vals []float64
+	var err error
 	switch t := f.(type) {
 	case logic.Next:
-		return c.probNext(t)
+		vals, err = c.probNext(t)
 	case logic.Until:
-		return c.probUntil(t)
+		vals, err = c.probUntil(t)
 	default:
 		return nil, fmt.Errorf("core: unknown path formula %T", f)
 	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	c.pool.Put(vals)
+	return out, nil
 }
 
 // SteadyProb returns the long-run probability of residing in Sat(Φ) for
@@ -514,7 +527,14 @@ func (c *Checker) untilTimeInterval(phi, psi *mrm.StateSet, iv logic.Interval) (
 	if err != nil {
 		return nil, err
 	}
-	return c.phaseOne(phi, tail, iv.Lo)
+	// phaseOne masks tail into its own terminal vector; the residual-until
+	// buffer goes back to the pool rather than leaking out of the regime.
+	res, err := c.phaseOne(phi, tail, iv.Lo)
+	c.pool.Put(tail)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // phaseOne performs the first phase of the interval-until computation: a

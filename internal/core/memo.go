@@ -112,7 +112,12 @@ func (c *memo) stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
-// Poisson implements transient.Cache and sericola.Cache.
+// Poisson implements transient.Cache and sericola.Cache. Caching does not
+// change the numerics: the table still drops the Poisson tails outside the
+// Fox–Glynn window, and the charge duty stays with the caller of every hit
+// and miss alike.
+//
+//numerics:truncates foxglynn/left-tail foxglynn/right-tail
 func (c *memo) Poisson(q, eps float64) (*numeric.PoissonWeights, error) {
 	if c == nil {
 		return numeric.FoxGlynn(q, eps)

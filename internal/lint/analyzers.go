@@ -6,12 +6,15 @@ func All() []*Analyzer {
 		Aliasret,
 		Bannedcall,
 		Droppederr,
+		Epsbudget,
 		Expunderflow,
 		Floatcmp,
 		Goroutinemisuse,
 		Guardedfield,
+		Ledgercharge,
 		Maporder,
 		Mutexcopy,
+		Poolescape,
 	}
 }
 

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FlowProblem is a forward dataflow problem over a CFG. Facts flow from a
+// block's entry through Transfer to its exit and are combined across
+// incoming edges with Join. The solver iterates to a fixed point, so Join
+// and Transfer must be monotone and the fact lattice of finite height.
+type FlowProblem interface {
+	// Entry returns the fact at the function entry.
+	Entry() any
+	// Transfer maps a block's entry fact to its exit fact. It must not
+	// mutate in.
+	Transfer(b *CFGBlock, in any) any
+	// Join combines two facts flowing into the same block. It must not
+	// mutate either argument.
+	Join(a, b any) any
+	// Equal reports whether two facts are equal (fixed-point test).
+	Equal(a, b any) bool
+}
+
+// Forward solves a forward dataflow problem over the CFG and returns the
+// entry and exit fact of every block, indexed by block index. Blocks
+// unreachable from Entry keep nil facts.
+func (c *CFG) Forward(p FlowProblem) (in, out []any) {
+	n := len(c.Blocks)
+	in = make([]any, n)
+	out = make([]any, n)
+	reach := c.Reachable()
+	in[c.Entry.Index] = p.Entry()
+	out[c.Entry.Index] = p.Transfer(c.Entry, in[c.Entry.Index])
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.Blocks {
+			if !reach[b.Index] || b == c.Entry {
+				continue
+			}
+			var acc any
+			for _, pred := range b.Preds {
+				o := out[pred.Index]
+				if o == nil {
+					continue
+				}
+				if acc == nil {
+					acc = o
+				} else {
+					acc = p.Join(acc, o)
+				}
+			}
+			if acc == nil {
+				continue // all predecessors still unsolved
+			}
+			if in[b.Index] == nil || !p.Equal(in[b.Index], acc) {
+				in[b.Index] = acc
+				out[b.Index] = p.Transfer(b, acc)
+				changed = true
+			}
+		}
+	}
+	return in, out
+}
+
+// A Def is one definition site of a variable: an assignment, a short
+// variable declaration, a var declaration, or a range key/value binding.
+type Def struct {
+	// Obj is the defined variable.
+	Obj types.Object
+	// Node is the statement (or range statement) performing the definition.
+	Node ast.Node
+	// Block is the index of the block containing the definition.
+	Block int
+}
+
+// ReachingDefs holds the classic gen/kill reaching-definitions solution:
+// which definition sites may still be live at each block boundary.
+type ReachingDefs struct {
+	// Defs lists every definition site in the function, in block order.
+	Defs []Def
+	// In[b] and Out[b] are the sets of indices into Defs that reach the
+	// entry and exit of block b.
+	In, Out []map[int]bool
+}
+
+// reachProblem implements FlowProblem for reaching definitions with
+// per-block gen sets precomputed from the definition list; the kill set of
+// a block is implied (every other definition of an object the block
+// defines).
+type reachProblem struct {
+	gen  []map[int]bool // defs generated in block b
+	objs []types.Object // objs[i] is the object Defs[i] defines
+}
+
+// ComputeReachingDefs solves reaching definitions for the CFG. info
+// resolves identifiers to objects; only variables declared inside the
+// function (including parameters bound by range statements) get definition
+// sites — package-level state is out of scope.
+func (c *CFG) ComputeReachingDefs(info *types.Info) *ReachingDefs {
+	rd := &ReachingDefs{}
+	defsByObj := make(map[types.Object][]int)
+	gen := make([]map[int]bool, len(c.Blocks))
+	addDef := func(b *CFGBlock, obj types.Object, node ast.Node) {
+		if obj == nil {
+			return
+		}
+		idx := len(rd.Defs)
+		rd.Defs = append(rd.Defs, Def{Obj: obj, Node: node, Block: b.Index})
+		defsByObj[obj] = append(defsByObj[obj], idx)
+		if gen[b.Index] == nil {
+			gen[b.Index] = make(map[int]bool)
+		}
+		// A later definition of the same object in this block kills the
+		// earlier one: drop it from gen before adding the new site.
+		for _, prior := range defsByObj[obj] {
+			delete(gen[b.Index], prior)
+		}
+		gen[b.Index][idx] = true
+	}
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			collectDefs(n, info, func(obj types.Object, node ast.Node) { addDef(b, obj, node) })
+		}
+		if b.Range != nil {
+			for _, e := range []ast.Expr{b.Range.Key, b.Range.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					addDef(b, defOrUse(info, id), b.Range)
+				}
+			}
+		}
+	}
+	objs := make([]types.Object, len(rd.Defs))
+	for i, d := range rd.Defs {
+		objs[i] = d.Obj
+	}
+	p := &reachProblem{gen: gen, objs: objs}
+	in, out := c.Forward(p)
+	rd.In = make([]map[int]bool, len(c.Blocks))
+	rd.Out = make([]map[int]bool, len(c.Blocks))
+	for i := range c.Blocks {
+		rd.In[i], _ = in[i].(map[int]bool)
+		rd.Out[i], _ = out[i].(map[int]bool)
+	}
+	return rd
+}
+
+func (p *reachProblem) Entry() any { return map[int]bool{} }
+
+func (p *reachProblem) Transfer(b *CFGBlock, in any) any {
+	set := in.(map[int]bool)
+	out := make(map[int]bool, len(set)+len(p.gen[b.Index]))
+	// Kill: a def in gen kills every other def of the same object.
+	killed := make(map[types.Object]bool)
+	for idx := range p.gen[b.Index] {
+		killed[p.objs[idx]] = true
+	}
+	for idx := range set {
+		if !killed[p.objs[idx]] {
+			out[idx] = true
+		}
+	}
+	for idx := range p.gen[b.Index] {
+		out[idx] = true
+	}
+	return out
+}
+
+func (p *reachProblem) Join(a, b any) any {
+	x, y := a.(map[int]bool), b.(map[int]bool)
+	out := make(map[int]bool, len(x)+len(y))
+	for k := range x {
+		out[k] = true
+	}
+	for k := range y {
+		out[k] = true
+	}
+	return out
+}
+
+func (p *reachProblem) Equal(a, b any) bool {
+	x, y := a.(map[int]bool), b.(map[int]bool)
+	if len(x) != len(y) {
+		return false
+	}
+	for k := range x {
+		if !y[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectDefs reports the variables a block node defines (assignment LHS
+// identifiers, short declarations, var/const specs). Function literals are
+// opaque: their bodies are separate functions with their own CFGs.
+func collectDefs(n ast.Node, info *types.Info, emit func(types.Object, ast.Node)) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				emit(defOrUse(info, id), s)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.Name != "_" {
+					emit(info.Defs[name], s)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := unparen(s.X).(*ast.Ident); ok {
+			emit(defOrUse(info, id), s)
+		}
+	}
+}
+
+// defOrUse resolves an identifier on the left of := (a Def) or = (a Use).
+func defOrUse(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// Taint is a value-taint fact: for each tracked variable, the fraction of
+// each taint origin the variable carries (join = pointwise max). The
+// epsbudget analyzer instantiates origins as ε-parameters and fractions as
+// the constant multipliers applied to them.
+type Taint map[types.Object]map[types.Object]float64
+
+// clone deep-copies a taint fact.
+func (t Taint) clone() Taint {
+	out := make(Taint, len(t))
+	for v, origins := range t {
+		m := make(map[types.Object]float64, len(origins))
+		for o, f := range origins {
+			m[o] = f
+		}
+		out[v] = m
+	}
+	return out
+}
+
+// joinTaint merges two taint facts by pointwise max.
+func joinTaint(a, b Taint) Taint {
+	out := a.clone()
+	for v, origins := range b {
+		m, ok := out[v]
+		if !ok {
+			m = make(map[types.Object]float64, len(origins))
+			out[v] = m
+		}
+		for o, f := range origins {
+			if f > m[o] {
+				m[o] = f
+			}
+		}
+	}
+	return out
+}
+
+// equalTaint reports pointwise equality of two taint facts.
+func equalTaint(a, b Taint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, am := range a {
+		bm, ok := b[v]
+		if !ok || len(am) != len(bm) {
+			return false
+		}
+		for o, f := range am {
+			//lint:ignore floatcmp fixed-point termination wants exact equality: joins are monotone and fractions are copied, not recomputed
+			if bm[o] != f {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typeCheckFunc parses and type-checks a single-function source and returns
+// the function body with its type info.
+func typeCheckFunc(t *testing.T, src string) (*ast.BlockStmt, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body, info
+		}
+	}
+	t.Fatal("fixture has no function body")
+	return nil, nil
+}
+
+// defsOf lists the indices of defs of the named variable.
+func defsOf(rd *ReachingDefs, name string) []int {
+	var out []int
+	for i, d := range rd.Defs {
+		if d.Obj != nil && d.Obj.Name() == name {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// blockContaining finds the block holding the given statement.
+func blockContaining(t *testing.T, cfg *CFG, match func(ast.Node) bool) *CFGBlock {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if match(n) {
+				return b
+			}
+		}
+	}
+	t.Fatal("no block contains the requested statement")
+	return nil
+}
+
+// TestReachingDefsJoin asserts both branch definitions of x survive to the
+// join point, and that the then-branch redefinition kills the initial one
+// on its own path.
+func TestReachingDefsJoin(t *testing.T) {
+	body, info := typeCheckFunc(t, `func f(a int) int {
+		x := 1
+		if a > 0 {
+			x = 2
+		}
+		y := x
+		return y
+	}`)
+	cfg := BuildCFG(body)
+	rd := cfg.ComputeReachingDefs(info)
+
+	xDefs := defsOf(rd, "x")
+	if len(xDefs) != 2 {
+		t.Fatalf("got %d defs of x, want 2", len(xDefs))
+	}
+	join := blockContaining(t, cfg, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		return ok && id.Name == "y"
+	})
+	for _, d := range xDefs {
+		if !rd.In[join.Index][d] {
+			t.Errorf("def %d of x does not reach the join block; In = %v", d, rd.In[join.Index])
+		}
+	}
+	// On the exit of the redefining block, only the second def survives.
+	redef := rd.Defs[xDefs[1]]
+	out := rd.Out[redef.Block]
+	if !out[xDefs[1]] || out[xDefs[0]] {
+		t.Errorf("redefining block should kill def %d and generate def %d; Out = %v", xDefs[0], xDefs[1], out)
+	}
+}
+
+// TestReachingDefsLoop asserts the loop-carried definition flows around the
+// back edge: at the return, both the initial and in-loop defs of s reach.
+func TestReachingDefsLoop(t *testing.T) {
+	body, info := typeCheckFunc(t, `func g(n int) int {
+		s := 0
+		for i := 0; i < n; i++ {
+			s = s + i
+		}
+		return s
+	}`)
+	cfg := BuildCFG(body)
+	rd := cfg.ComputeReachingDefs(info)
+
+	sDefs := defsOf(rd, "s")
+	if len(sDefs) != 2 {
+		t.Fatalf("got %d defs of s, want 2", len(sDefs))
+	}
+	ret := blockContaining(t, cfg, func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	for _, d := range sDefs {
+		if !rd.In[ret.Index][d] {
+			t.Errorf("def %d of s does not reach the return; In = %v", d, rd.In[ret.Index])
+		}
+	}
+	// The loop-body definition must also reach its own block entry via the
+	// back edge join at the loop head.
+	loopDef := rd.Defs[sDefs[1]]
+	if !rd.In[loopDef.Block][sDefs[1]] {
+		t.Errorf("loop-carried def %d does not flow around the back edge; In = %v", sDefs[1], rd.In[loopDef.Block])
+	}
+}
+
+// TestRangeBindingDefs asserts range key/value bindings get definition
+// sites attributed to the loop-head block.
+func TestRangeBindingDefs(t *testing.T) {
+	body, info := typeCheckFunc(t, `func h(xs []int) int {
+		total := 0
+		for _, v := range xs {
+			total += v
+		}
+		return total
+	}`)
+	cfg := BuildCFG(body)
+	rd := cfg.ComputeReachingDefs(info)
+	vDefs := defsOf(rd, "v")
+	if len(vDefs) != 1 {
+		t.Fatalf("got %d defs of v, want 1", len(vDefs))
+	}
+	if _, ok := rd.Defs[vDefs[0]].Node.(*ast.RangeStmt); !ok {
+		t.Errorf("def of v attributed to %T, want *ast.RangeStmt", rd.Defs[vDefs[0]].Node)
+	}
+}
+
+// fakeOrigin builds distinct types.Object values for taint-lattice tests.
+func fakeOrigin(name string) types.Object {
+	return types.NewVar(token.NoPos, nil, name, types.Typ[types.Float64])
+}
+
+// TestTaintLattice exercises the join/clone/equal operations the epsbudget
+// accumulation relies on: join is pointwise max, clone isolates, equality
+// is exact.
+func TestTaintLattice(t *testing.T) {
+	v, o1, o2 := fakeOrigin("v"), fakeOrigin("eps"), fakeOrigin("delta")
+	a := Taint{v: {o1: 0.5}}
+	b := Taint{v: {o1: 0.25, o2: 1}}
+
+	j := joinTaint(a, b)
+	if j[v][o1] != 0.5 || j[v][o2] != 1 {
+		t.Errorf("join = %v, want max(0.5,0.25) for eps and 1 for delta", j[v])
+	}
+	if a[v][o2] != 0 || b[v][o1] != 0.25 {
+		t.Error("join mutated its inputs")
+	}
+
+	c := a.clone()
+	c[v][o1] = 0.75
+	if a[v][o1] != 0.5 {
+		t.Error("clone shares origin maps with the original")
+	}
+
+	if !equalTaint(a, Taint{v: {o1: 0.5}}) {
+		t.Error("equalTaint rejects an identical fact")
+	}
+	if equalTaint(a, b) || equalTaint(a, Taint{}) {
+		t.Error("equalTaint accepts differing facts")
+	}
+}

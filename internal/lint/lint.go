@@ -32,8 +32,47 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `mrmlint -list`.
 	Doc string
+	// Version counts behavioural revisions of the analyzer (new checks,
+	// changed heuristics). It feeds RegistryHash so CI baselines notice
+	// when recorded suppressions or stored findings predate the current
+	// analyzer semantics. The zero value is version 1.
+	Version int
 	// Run inspects the package held by the pass and reports findings.
 	Run func(*Pass) error
+}
+
+// version normalises the zero value to 1.
+func (a *Analyzer) version() int {
+	if a.Version == 0 {
+		return 1
+	}
+	return a.Version
+}
+
+// RegistryHash fingerprints the full analyzer registry: an FNV-1a hash
+// over the sorted "name@vN" strings of All(). The mrmlint -json mode
+// stamps every finding with it, so a CI baseline diffing stored findings
+// can tell "the code changed" apart from "the analyzers changed".
+func RegistryHash() string {
+	names := make([]string, 0, 16)
+	for _, a := range All() {
+		names = append(names, fmt.Sprintf("%s@v%d", a.Name, a.version()))
+	}
+	sort.Strings(names)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, s := range names {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= '\n'
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -52,8 +91,16 @@ type Pass struct {
 	GoVersion string
 
 	insp  *Inspector
+	pkg   *Package
 	diags *[]Diagnostic
 }
+
+// CFG returns the control-flow graph of a function body, cached per
+// package so the dataflow analyzers share one graph per function.
+func (p *Pass) CFG(body *ast.BlockStmt) *CFG { return p.pkg.CFG(body) }
+
+// Summaries returns the package's interprocedural summary cache.
+func (p *Pass) Summaries() *Summaries { return p.pkg.Summaries() }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -188,6 +235,7 @@ func (r *Runner) RunPackage(pkg *Package) ([]Diagnostic, error) {
 			PkgPath:   pkg.Path,
 			GoVersion: pkg.GoVersion,
 			insp:      insp,
+			pkg:       pkg,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

@@ -140,6 +140,12 @@ func TestGoldenFiles(t *testing.T) {
 		{file: "mutexcopy/negative.go", pkgPath: fakePath, analyzer: "mutexcopy"},
 		{file: "ignore/suppressed.go", pkgPath: fakePath, analyzer: "floatcmp"},
 		{file: "ignore/multiline.go", pkgPath: fakePath, analyzer: "floatcmp"},
+		{file: "epsbudget/positive.go", pkgPath: fakePath, analyzer: "epsbudget"},
+		{file: "epsbudget/negative.go", pkgPath: fakePath, analyzer: "epsbudget"},
+		{file: "ledgercharge/positive.go", pkgPath: fakePath, analyzer: "ledgercharge"},
+		{file: "ledgercharge/negative.go", pkgPath: fakePath, analyzer: "ledgercharge"},
+		{file: "poolescape/positive.go", pkgPath: fakePath, analyzer: "poolescape"},
+		{file: "poolescape/negative.go", pkgPath: fakePath, analyzer: "poolescape"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -195,8 +201,8 @@ func TestDiagnosticString(t *testing.T) {
 
 func TestAnalyzerRegistry(t *testing.T) {
 	all := lint.All()
-	if len(all) < 9 {
-		t.Fatalf("registry has %d analyzers, want >= 9", len(all))
+	if len(all) < 12 {
+		t.Fatalf("registry has %d analyzers, want >= 12", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
@@ -217,6 +223,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 	for _, required := range []string{
 		"floatcmp", "expunderflow", "droppederr", "aliasret", "bannedcall",
 		"guardedfield", "goroutinemisuse", "maporder", "mutexcopy",
+		"epsbudget", "ledgercharge", "poolescape",
 	} {
 		if !seen[required] {
 			t.Errorf("required analyzer %q missing from registry", required)

@@ -28,6 +28,13 @@ type Package struct {
 	GoVersion string
 
 	insp *Inspector
+	// deps resolves an already-loaded module-internal import path, so the
+	// summary engine can follow cross-package calls. Nil (the golden-file
+	// harness) limits summaries to the current package plus the builtin
+	// registry.
+	deps func(path string) *Package
+	sums *Summaries
+	cfgs map[*ast.BlockStmt]*CFG
 }
 
 // Inspector returns the package's shared traversal, building it on first
@@ -237,6 +244,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, err
 	}
 	p := &Package{Dir: dir, Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info, GoVersion: l.GoVersion}
+	p.deps = func(path string) *Package { return l.pkgs[path] }
 	l.pkgs[path] = p
 	return p, nil
 }

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/performability/csrl/internal/obs"
+)
+
+// truncatesPrefix is the annotation that declares a function a truncation
+// site: it drops probability mass (or otherwise consumes accuracy) bounded
+// by its ε argument, and its callers are responsible for charging the loss
+// to the error-budget ledger.
+//
+//	//numerics:truncates <component>/<term> [<component>/<term> ...]
+//
+// The labels name the ledger rows the caller is expected to charge and are
+// validated against the canonical vocabulary in internal/obs.
+const truncatesPrefix = "//numerics:truncates"
+
+// builtinTruncates registers truncating callees the annotation cannot
+// reach conveniently (the numeric kernels are the ground truth of the
+// budget discipline, so the analyzer must know them even when a lint run
+// cannot see their sources). Matching is by import-path suffix so the
+// registry works under any module path.
+var builtinTruncates = []struct {
+	pathSuffix, name string
+	terms            []string
+}{
+	{"internal/numeric", "FoxGlynn", []string{"foxglynn/left-tail", "foxglynn/right-tail"}},
+	{"internal/numeric", "PoissonTruncation", []string{"sericola/series-remainder"}},
+}
+
+// BadTerm is one invalid //numerics:truncates label.
+type BadTerm struct {
+	Pos  token.Pos
+	Term string
+	// Reason explains the failure ("unknown component", "unknown term", …).
+	Reason string
+}
+
+// FuncSummary captures the cheap interprocedural facts one function
+// exposes to the dataflow analyzers.
+type FuncSummary struct {
+	// Truncates lists the component/term labels the function truncates
+	// under (annotation or builtin registry); non-empty means the function
+	// is an ε-consuming sink whose callers must charge the ledger.
+	Truncates []string
+	// Annotated reports an explicit //numerics:truncates annotation: the
+	// body is exempt from the ledgercharge obligation (it has passed the
+	// charge duty to its callers) and every ε parameter counts as fully
+	// spent.
+	Annotated bool
+	// BadTerms lists annotation labels that failed vocabulary validation.
+	BadTerms []BadTerm
+	// Spend[i] is the worst-case fraction of ε parameter i (receiver
+	// first, then the declared parameters) the function spends on
+	// truncating sinks along any single path.
+	Spend []float64
+	// Returns holds, per reachable return statement, per result value, the
+	// fraction of each ε parameter flowing into that result. Keeping the
+	// per-return tuples (rather than a per-result max) preserves the path
+	// correlation of budget splitters: a function returning either
+	// (ε/2, ε/2) or (ε, 0) never yields the impossible (ε, ε/2).
+	Returns [][]map[int]float64
+	// PoolBorn[j] reports that result j may be a pool-born buffer
+	// (obtained from a VecPool-style Get and owned by the caller).
+	PoolBorn []bool
+}
+
+// declSite is where a *types.Func is declared: a FuncDecl, or an
+// interface-method field (decl nil), with its doc comment.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	doc  *ast.CommentGroup
+}
+
+// Summaries computes and caches FuncSummary values for one lint run. The
+// cache resolves module-internal callees through the loader's package
+// graph when available; without it (the golden-file harness), summaries
+// are limited to same-package declarations plus the builtin registry.
+type Summaries struct {
+	pkg     *Package
+	resolve func(path string) *Package
+	sites   map[*types.Func]*declSite
+	indexed map[*Package]bool
+	sums    map[*types.Func]*FuncSummary
+	busy    map[*types.Func]bool
+}
+
+// Summaries returns the package's summary cache, building it on first use.
+func (p *Package) Summaries() *Summaries {
+	if p.sums == nil {
+		p.sums = &Summaries{
+			pkg:     p,
+			resolve: p.deps,
+			sites:   make(map[*types.Func]*declSite),
+			indexed: make(map[*Package]bool),
+			sums:    make(map[*types.Func]*FuncSummary),
+			busy:    make(map[*types.Func]bool),
+		}
+	}
+	return p.sums
+}
+
+// CFG returns the cached control-flow graph of a function body within this
+// package (keyed by body node, so function literals get their own graphs).
+func (p *Package) CFG(body *ast.BlockStmt) *CFG {
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	if c, ok := p.cfgs[body]; ok {
+		return c
+	}
+	c := BuildCFG(body)
+	p.cfgs[body] = c
+	return c
+}
+
+// index records the declaration sites of a package's functions, methods
+// and interface methods.
+func (s *Summaries) index(pkg *Package) {
+	if pkg == nil || s.indexed[pkg] {
+		return
+	}
+	s.indexed[pkg] = true
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+					s.sites[fn] = &declSite{pkg: pkg, decl: d, doc: d.Doc}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						for _, name := range m.Names {
+							if fn, ok := pkg.Info.Defs[name].(*types.Func); ok {
+								s.sites[fn] = &declSite{pkg: pkg, doc: m.Doc}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// site locates fn's declaration, following the loader's package graph for
+// module-internal cross-package callees.
+func (s *Summaries) site(fn *types.Func) *declSite {
+	s.index(s.pkg)
+	if site, ok := s.sites[fn]; ok {
+		return site
+	}
+	if fn.Pkg() == nil || fn.Pkg() == s.pkg.Types || s.resolve == nil {
+		return nil
+	}
+	s.index(s.resolve(fn.Pkg().Path()))
+	return s.sites[fn]
+}
+
+// Of returns the summary of fn, computing it on first use. Recursive call
+// chains yield the zero summary for the in-progress function (an
+// optimistic under-approximation, documented in DESIGN.md).
+func (s *Summaries) Of(fn *types.Func) *FuncSummary {
+	if fn == nil {
+		return &FuncSummary{}
+	}
+	if sum, ok := s.sums[fn]; ok {
+		return sum
+	}
+	if s.busy[fn] {
+		return &FuncSummary{}
+	}
+	s.busy[fn] = true
+	sum := s.compute(fn)
+	delete(s.busy, fn)
+	s.sums[fn] = sum
+	return sum
+}
+
+// ForCall returns the summary of the call's resolved callee (the zero
+// summary for indirect calls through function values).
+func (s *Summaries) ForCall(info *types.Info, call *ast.CallExpr) *FuncSummary {
+	return s.Of(calleeFunc(info, call))
+}
+
+func (s *Summaries) compute(fn *types.Func) *FuncSummary {
+	sum := &FuncSummary{}
+	site := s.site(fn)
+	if site != nil {
+		sum.Truncates, sum.BadTerms, sum.Annotated = parseTruncates(site.doc)
+	}
+	if !sum.Annotated {
+		if terms := registryTerms(fn); terms != nil {
+			sum.Truncates = terms
+			sum.Annotated = true // the registry carries the same contract
+		}
+	}
+	params := signatureParams(fn)
+	if sum.Annotated {
+		// The function's contract is "accuracy ε in, mass ≤ ε dropped": its
+		// ε parameters are fully spent, whatever the body does.
+		sum.Spend = make([]float64, len(params))
+		for i, p := range params {
+			if isEpsParam(p) {
+				sum.Spend[i] = 1
+			}
+		}
+	}
+	if site == nil || site.decl == nil || site.decl.Body == nil {
+		return sum
+	}
+	if !sum.Annotated {
+		res := analyzeEps(s, site.pkg, site.decl.Body, params)
+		sum.Spend = res.spend
+		sum.Returns = res.returns
+	}
+	sum.PoolBorn = poolBornResults(site.pkg, site.decl.Type, site.decl.Body, s)
+	return sum
+}
+
+// registryTerms matches fn against the builtin truncating-callee registry.
+func registryTerms(fn *types.Func) []string {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	for _, r := range builtinTruncates {
+		if fn.Name() == r.name && strings.HasSuffix(path, r.pathSuffix) {
+			return r.terms
+		}
+	}
+	return nil
+}
+
+// parseTruncates extracts //numerics:truncates labels from a doc comment
+// and validates them against the ledger vocabulary.
+func parseTruncates(doc *ast.CommentGroup) (terms []string, bad []BadTerm, annotated bool) {
+	if doc == nil {
+		return nil, nil, false
+	}
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, truncatesPrefix) {
+			continue
+		}
+		annotated = true
+		rest := strings.TrimSpace(strings.TrimPrefix(c.Text, truncatesPrefix))
+		// Allow trailing commentary after a second "//" on the same line.
+		if i := strings.Index(rest, "//"); i >= 0 {
+			rest = strings.TrimSpace(rest[:i])
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			bad = append(bad, BadTerm{Pos: c.Pos(), Term: "", Reason: "missing component/term label"})
+			continue
+		}
+		for _, f := range fields {
+			component, term, ok := strings.Cut(f, "/")
+			switch {
+			case !ok:
+				bad = append(bad, BadTerm{Pos: c.Pos(), Term: f, Reason: "want <component>/<term>"})
+			case !obs.KnownTerm(component, term):
+				reason := "unknown term"
+				if kt := obs.KnownTermsOf(component); kt == nil {
+					reason = "unknown component (have: " + strings.Join(obs.KnownComponents(), ", ") + ")"
+				} else {
+					reason = "unknown term (component " + component + " has: " + strings.Join(kt, ", ") + ")"
+				}
+				bad = append(bad, BadTerm{Pos: c.Pos(), Term: f, Reason: reason})
+				terms = append(terms, f)
+			default:
+				terms = append(terms, f)
+			}
+		}
+	}
+	return terms, bad, annotated
+}
+
+// signatureParams lists fn's parameter objects, receiver first.
+func signatureParams(fn *types.Func) []*types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// isEpsParam reports whether v is an ε-budget parameter: a float whose
+// name marks it as an accuracy ("eps", "fgEps", "epsilon", "accuracy").
+func isEpsParam(v *types.Var) bool {
+	if v == nil || !isFloat(v.Type()) {
+		return false
+	}
+	name := strings.ToLower(v.Name())
+	return strings.Contains(name, "eps") || name == "accuracy"
+}
+
+// epsFieldName reports whether a struct field name carries an ε budget.
+func epsFieldName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "eps") || l == "accuracy"
+}
+
+// funcLitParams lists a function literal's parameter objects.
+func funcLitParams(info *types.Info, ft *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

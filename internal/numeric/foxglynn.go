@@ -42,6 +42,8 @@ var ErrAccuracy = errors.New("numeric: unachievable accuracy")
 // truncation error at most eps, following Fox & Glynn, "Computing Poisson
 // probabilities", CACM 31(4), 1988. The weights are scaled to avoid
 // underflow; normalise by TotalWeight.
+//
+//numerics:truncates foxglynn/left-tail foxglynn/right-tail
 func FoxGlynn(q, eps float64) (*PoissonWeights, error) {
 	switch {
 	case math.IsNaN(q) || q < 0:
@@ -213,6 +215,8 @@ func foxGlynnLarge(q, eps float64) (*PoissonWeights, error) {
 // PoissonTruncation returns the smallest N such that the Poisson(q)
 // distribution has cumulative mass ≥ 1-eps on {0..N}. This is the a-priori
 // step bound N_ε used by the occupation-time algorithm (paper §4.4).
+//
+//numerics:truncates sericola/series-remainder
 func PoissonTruncation(q, eps float64) (int, error) {
 	if q < 0 || math.IsNaN(q) {
 		return 0, fmt.Errorf("numeric: PoissonTruncation rate %v out of range", q)

@@ -1,0 +1,60 @@
+package obs
+
+import "sort"
+
+// knownTerms is the canonical vocabulary of the error-budget ledger: every
+// (component, term) pair the numerical procedures charge. The ledger itself
+// accepts any strings — a Recorder must not lose a charge over a label —
+// but the static `//numerics:truncates <component>/<term>` annotations are
+// validated against this table by mrmlint's ledgercharge analyzer, so a
+// typo in an annotation (or a new charge site minted without extending the
+// vocabulary) is flagged instead of silently fragmenting the report.
+var knownTerms = map[string]map[string]bool{
+	"foxglynn": {
+		"left-tail":  true, // Poisson mass truncated below the Fox–Glynn window
+		"right-tail": true, // Poisson mass truncated above the window
+	},
+	"steady": {
+		"tail-charge": true, // steady-state detection: remaining mass charged to the fixed point
+	},
+	"sericola": {
+		"series-remainder": true, // occupation-time series mass past N_ε
+		"clamp-residue":    true, // cancellation noise absorbed by the [0,1] clamp (indicative)
+	},
+	"erlang": {
+		"k-approximation": true, // Erlang-k phase-type approximation order (indicative)
+	},
+	"discretise": {
+		"step": true, // O(d) discretisation term (indicative)
+	},
+}
+
+// KnownTerm reports whether component/term is a canonical ledger label.
+func KnownTerm(component, term string) bool {
+	return knownTerms[component][term]
+}
+
+// KnownComponents returns the canonical component names, sorted.
+func KnownComponents() []string {
+	out := make([]string, 0, len(knownTerms))
+	for c := range knownTerms {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownTermsOf returns the canonical terms of a component, sorted (nil for
+// an unknown component).
+func KnownTermsOf(component string) []string {
+	m := knownTerms[component]
+	if m == nil {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

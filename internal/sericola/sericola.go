@@ -40,6 +40,10 @@ import (
 // (internal/core's memo) satisfies both. Nil disables memoisation.
 type Cache interface {
 	Uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error)
+	// Poisson returns the Fox–Glynn weight table; like the transient
+	// package's Cache it truncates the Poisson tails, and its callers owe
+	// the ledger the two tail charges.
+	//numerics:truncates foxglynn/left-tail foxglynn/right-tail
 	Poisson(q, eps float64) (*numeric.PoissonWeights, error)
 }
 
@@ -243,6 +247,8 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 		switch {
 		case v < 0:
 			if v < -clampTol {
+				opts.Pool.Put(hMat)
+				opts.Pool.Put(tMat)
 				return nil, fmt.Errorf("sericola: value %g at state %d is below 0 beyond the %g cancellation tolerance", v, i, clampTol)
 			}
 			if -v > clampResidue {
@@ -251,6 +257,8 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 			v = 0
 		case v > 1:
 			if v > 1+clampTol {
+				opts.Pool.Put(hMat)
+				opts.Pool.Put(tMat)
 				return nil, fmt.Errorf("sericola: value %g at state %d exceeds 1 beyond the %g cancellation tolerance", v, i, clampTol)
 			}
 			if v-1 > clampResidue {
@@ -622,5 +630,15 @@ func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda float64, opts Optio
 		// interface value converts directly; nil stays nil.
 		Cache: opts.Cache,
 	}
-	return transient.BackwardWeighted(m, goal.Indicator(), t, topts)
+	vals, err := transient.BackwardWeighted(m, goal.Indicator(), t, topts)
+	if err != nil {
+		return nil, err
+	}
+	// BackwardWeighted hands back a pool-borrowed buffer, but Options.Pool
+	// documents the result vector as a plain allocation owned by the
+	// caller — copy out and check the borrowed buffer back in.
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	opts.Pool.Put(vals)
+	return out, nil
 }

@@ -26,6 +26,9 @@ type Cache interface {
 	Uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error)
 	// Poisson returns the Fox–Glynn weight table for Poisson parameter q
 	// and truncation budget eps, computing and retaining it on first use.
+	// The table drops the Poisson tails outside the Fox–Glynn window, so
+	// callers owe the ledger both tail charges.
+	//numerics:truncates foxglynn/left-tail foxglynn/right-tail
 	Poisson(q, eps float64) (*numeric.PoissonWeights, error)
 }
 

@@ -1,0 +1,60 @@
+// Budget-respecting shapes the epsbudget analyzer must accept, including
+// the post-PR-5 transient fix: a correlated budget splitter returning
+// either (ε/2, ε/2) or (ε, 0), never both halves at full strength.
+package fake
+
+import "github.com/performability/csrl/internal/numeric"
+
+// steadyTail stands in for the steady-state detector's tail spend (each
+// golden file is type-checked as its own single-file package).
+//
+//numerics:truncates steady/tail-charge
+func steadyTail(eps float64) error { return nil }
+
+// split is the budgetSplit shape: with steady-state detection on, both
+// consumers get half the budget; with it off, Fox–Glynn gets everything
+// and the tail charge gets nothing. The per-return correlation is what
+// keeps the sum at exactly ε on every path.
+func split(eps float64, steady bool) (float64, float64) {
+	if steady {
+		return eps / 2, eps / 2
+	}
+	return eps, 0
+}
+
+// distributionNew is the fixed transient sweep: the two spends always sum
+// to the whole budget, never more.
+func distributionNew(q, eps float64, steady bool) error {
+	fgEps, stEps := split(eps, steady)
+	if _, err := numeric.FoxGlynn(q, fgEps); err != nil {
+		return err
+	}
+	return steadyTail(stEps)
+}
+
+// halves spends disjoint constant fractions summing to exactly 1.
+func halves(q, eps float64) error {
+	if _, err := numeric.FoxGlynn(q, eps/2); err != nil {
+		return err
+	}
+	return steadyTail(eps / 2)
+}
+
+// disjointBranches spends the full budget on either branch, but only one
+// branch runs.
+func disjointBranches(q, eps float64, fast bool) error {
+	if fast {
+		_, err := numeric.FoxGlynn(q, eps)
+		return err
+	}
+	return steadyTail(eps)
+}
+
+// separateBudgets spends two independent budgets fully: no single origin
+// is over-committed.
+func separateBudgets(q, fgEps, tailEps float64) error {
+	if _, err := numeric.FoxGlynn(q, fgEps); err != nil {
+		return err
+	}
+	return steadyTail(tailEps)
+}

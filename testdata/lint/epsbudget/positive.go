@@ -1,0 +1,59 @@
+// Package fake reproduces ε-budget double-spends for the epsbudget
+// analyzer. The first case is the pre-PR-5 transient bug verbatim: the
+// whole accuracy budget was handed to Fox–Glynn AND spent again by the
+// steady-state tail charge on the same path, so the computed bound ε was
+// silently a 2ε bound.
+package fake
+
+import "github.com/performability/csrl/internal/numeric"
+
+// steadyTail stands in for the steady-state detector's tail spend: the
+// remaining Poisson mass is charged against the accuracy argument.
+//
+//numerics:truncates steady/tail-charge
+func steadyTail(eps float64) error { return nil }
+
+// distributionOld is the pre-PR-5 shape of the transient sweep: Fox–Glynn
+// truncates with the full ε, then steady-state detection spends the full
+// ε again — 2ε total along the success path.
+func distributionOld(q, eps float64) error {
+	if _, err := numeric.FoxGlynn(q, eps); err != nil {
+		return err
+	}
+	return steadyTail(eps) // want "over-committed"
+}
+
+// threeHalves splits the budget but spends three halves of it.
+func threeHalves(q, eps float64) error {
+	if _, err := numeric.FoxGlynn(q, eps/2); err != nil {
+		return err
+	}
+	if err := steadyTail(eps / 2); err != nil {
+		return err
+	}
+	return steadyTail(eps / 2) // want "over-committed"
+}
+
+// inLoop spends a fixed fraction per iteration: the total is unbounded.
+func inLoop(q, eps float64, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if _, err := numeric.FoxGlynn(q, eps/2); err != nil { // want "inside a loop"
+			return err
+		}
+	}
+	return nil
+}
+
+// throughHelper shows the spend is transitive: the helper spends its whole
+// argument, and the caller hands it the full budget twice.
+func spendAll(q, eps float64) error {
+	_, err := numeric.FoxGlynn(q, eps)
+	return err
+}
+
+func throughHelper(q, eps float64) error {
+	if err := spendAll(q, eps); err != nil {
+		return err
+	}
+	return spendAll(q, eps) // want "over-committed"
+}

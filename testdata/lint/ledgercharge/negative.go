@@ -1,0 +1,55 @@
+// Charge-discipline shapes the ledgercharge analyzer must accept.
+package fake
+
+import (
+	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/obs"
+)
+
+// charged charges both tails behind the usual nil guard: a nil Recorder
+// means observability is off, and both arms of the guard count as charged.
+func charged(q, eps float64, rec *obs.Recorder) (int, error) {
+	w, err := numeric.FoxGlynn(q, eps)
+	if err != nil {
+		return 0, err
+	}
+	if rec != nil {
+		rec.Charge("foxglynn", "left-tail", w.LeftTailMass)
+		rec.Charge("foxglynn", "right-tail", w.RightTailMass)
+	}
+	return len(w.W), nil
+}
+
+// passthrough is annotated: the charge duty moves to its callers, and its
+// own body carries no obligation.
+//
+//numerics:truncates foxglynn/left-tail foxglynn/right-tail
+func passthrough(q, eps float64) (*numeric.PoissonWeights, error) {
+	return numeric.FoxGlynn(q, eps)
+}
+
+// errorOnly truncates and then fails: the result is discarded with the
+// error, so the failure path owes the ledger nothing.
+func errorOnly(q, eps float64) error {
+	_, err := numeric.FoxGlynn(q, eps)
+	if err != nil {
+		return err
+	}
+	return errAlways()
+}
+
+func errAlways() error { return nil }
+
+// viaAnnotatedHelper calls the annotated passthrough and charges: the
+// obligation transfers through the annotation and is met here.
+func viaAnnotatedHelper(q, eps float64, rec *obs.Recorder) error {
+	w, err := passthrough(q, eps)
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		rec.Charge("foxglynn", "left-tail", w.LeftTailMass)
+		rec.Charge("foxglynn", "right-tail", w.RightTailMass)
+	}
+	return nil
+}

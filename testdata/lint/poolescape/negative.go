@@ -1,0 +1,89 @@
+// Pool-discipline shapes the poolescape analyzer must accept: ping-pong
+// moves, ownership transfer through returns, escapes into structures the
+// caller owns, and shared buffers captured by worker closures.
+package fake
+
+import (
+	"errors"
+
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// pingPong swaps two live buffers each iteration — a parallel assignment is
+// a move, not a leak — and Puts both before transferring the result out.
+func pingPong(p *sparse.VecPool, n, iters int) []float64 {
+	cur := p.Get(n)
+	next := p.Get(n)
+	for i := 0; i < iters; i++ {
+		for j := range next {
+			next[j] = cur[j] * 0.5
+		}
+		cur, next = next, cur
+	}
+	out := make([]float64, n)
+	copy(out, cur)
+	p.Put(cur)
+	p.Put(next)
+	return out
+}
+
+// transferOut hands ownership to the caller by returning the buffer: the
+// Put obligation moves with it.
+func transferOut(p *sparse.VecPool, n int) []float64 {
+	buf := p.Get(n)
+	for i := range buf {
+		buf[i] = 1
+	}
+	return buf
+}
+
+// siblingErr receives a pool-born buffer and an error from the same call:
+// when the error is non-nil the callee never handed a buffer over, so the
+// early return owes nothing, and the success path Puts as usual.
+func siblingErr(p *sparse.VecPool, n int) (float64, error) {
+	buf, err := bornOrErr(p, n)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, v := range buf {
+		total += v
+	}
+	p.Put(buf)
+	return total, nil
+}
+
+func bornOrErr(p *sparse.VecPool, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, errors.New("empty")
+	}
+	return p.Get(n), nil
+}
+
+type rowHolder struct {
+	row []float64
+}
+
+// escapeToField stores the buffer into a structure that outlives the call:
+// ownership escapes the function and the analyzer stops tracking it.
+func escapeToField(p *sparse.VecPool, h *rowHolder, n int) {
+	row := p.Get(n)
+	h.row = row
+}
+
+// sharedWorker lends the buffer to a goroutine closure: the buffer is
+// shared, the closure is trusted, and the Put after the work still counts.
+func sharedWorker(p *sparse.VecPool, n int) float64 {
+	buf := p.Get(n)
+	done := make(chan struct{})
+	go func() {
+		for i := range buf {
+			buf[i] = float64(i)
+		}
+		close(done)
+	}()
+	<-done
+	total := buf[0]
+	p.Put(buf)
+	return total
+}
