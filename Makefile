@@ -36,12 +36,14 @@ lint-dataflow:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	$(GO) run ./cmd/perfbench -compare
-	$(GO) run ./cmd/perfbench -json BENCH_PR4.json
+	$(GO) run ./cmd/perfbench -json BENCH_PR7.json -workers-sweep
 
 # Compare a fresh benchmark run against the committed performance trail;
-# exits non-zero on >20% time or >10% allocation regressions.
+# exits non-zero on >20% time or >10% allocation regressions, and refuses
+# outright when the baseline was recorded on a different CPU count
+# (baselines are per machine class — regenerate with bench-smoke).
 bench-check:
-	$(GO) run ./cmd/perfbench -baseline BENCH_PR4.json
+	$(GO) run ./cmd/perfbench -baseline BENCH_PR7.json -workers-sweep
 
 fmt:
 	gofmt -l -w .

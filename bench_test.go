@@ -199,6 +199,38 @@ func BenchmarkQ3FullChecker(b *testing.B) {
 	}
 }
 
+// BenchmarkRectangleUntil benchmarks the general-interval until — the
+// rectangle hot path whose four F(t,r) corners now advance through the
+// checker in two reward-bound batches (one per distinct time bound),
+// against the same query on a fresh checker per iteration so the memo
+// cannot amortise the reduction across iterations.
+func BenchmarkRectangleUntil(b *testing.B) {
+	m, err := adhoc.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := logic.MustParse("P=? [ (call_idle | doze) U{t in [6,24], r in [150,600]} call_initiated ]")
+	opts := core.DefaultOptions()
+	opts.Epsilon = 1e-8
+	b.Run("memoised", func(b *testing.B) {
+		b.ReportAllocs()
+		c := core.New(m, opts)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Values(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-checker", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.New(m, opts).Values(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkParallelWorkers is the sequential-vs-parallel pair for the P3
 // procedures' parallel engine: each sub-benchmark runs the same workload
 // with Workers: 1 (the exact legacy path) and Workers: 0 (all CPUs). On a

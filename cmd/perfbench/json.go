@@ -3,9 +3,11 @@ package main
 // The -json / -baseline modes give the repository a machine-readable
 // performance trail: -json re-times the paper's procedures with
 // testing.Benchmark (ns/op, allocs/op, B/op per procedure and knob) and
-// writes a BENCH_PR4.json-style report; -baseline compares a fresh run
+// writes a BENCH_PR7.json-style report; -baseline compares a fresh run
 // against a stored report and fails loudly on regressions, so CI can keep
-// the goal-column slicing, steady-state detection and pooling honest.
+// the goal-column slicing, steady-state detection, pooling and the
+// multi-vector block kernels honest. Reports carry the recording machine's
+// num_cpu and -baseline refuses to compare across CPU counts.
 
 import (
 	"encoding/json"
@@ -58,6 +60,21 @@ type benchReport struct {
 	NumCPU    int           `json:"num_cpu"`
 	Records   []benchRecord `json:"records"`
 	Stats     *benchStats   `json:"stats,omitempty"`
+	Block     *blockStats   `json:"block,omitempty"`
+}
+
+// blockStats records the matrix-pass contrast of the multi-vector kernels:
+// one backward sweep of g weighting vectors through the block path versus g
+// single-vector sweeps, counted by the sweep.products instrument with
+// steady-state detection off so both counts are structural (block = one
+// pass per uniformisation step, vector = g per step). The block count must
+// be strictly lower — that reduction in val/col traffic is the point of the
+// batched kernels, so losing it is a hard failure of the -json run, not a
+// threshold judgement.
+type blockStats struct {
+	G            int   `json:"g"`
+	PassesBlock  int64 `json:"matrix_passes_block"`
+	PassesVector int64 `json:"matrix_passes_vector"`
 }
 
 // benchStats is the observability cross-section of the performance trail:
@@ -122,6 +139,49 @@ func collectStats(workers int) (*benchStats, error) {
 	return st, nil
 }
 
+// blockWeightVecs builds the deterministic g=4 weighting-vector set the
+// block workloads sweep: the goal indicator (ReachProbAll's input) plus
+// three fixed ramps.
+func blockWeightVecs(m *mrm.MRM, goal *mrm.StateSet) [][]float64 {
+	n := m.N()
+	vs := make([][]float64, 4)
+	vs[0] = make([]float64, n)
+	goal.Each(func(s int) { vs[0][s] = 1 })
+	for j := 1; j < len(vs); j++ {
+		vs[j] = make([]float64, n)
+		for i := range vs[j] {
+			vs[j][i] = float64((i*j+1)%5) / 4
+		}
+	}
+	return vs
+}
+
+// collectBlockStats measures the blockStats record on the Q3 reduction.
+func collectBlockStats(m *mrm.MRM, goal *mrm.StateSet, workers int) (*blockStats, error) {
+	tb := adhoc.Q3TimeBound
+	vs := blockWeightVecs(m, goal)
+	recBlock := obs.New()
+	_, err := transient.BackwardWeightedMulti(m, vs, tb, transient.Options{
+		Epsilon: 1e-12, Workers: workers, SteadyDetect: transient.SteadyOff, Obs: recBlock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	recVec := obs.New()
+	for _, v := range vs {
+		if _, err := transient.BackwardWeighted(m, v, tb, transient.Options{
+			Epsilon: 1e-12, Workers: workers, SteadyDetect: transient.SteadyOff, Obs: recVec,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &blockStats{
+		G:            len(vs),
+		PassesBlock:  recBlock.Report(1e-12).Counters["sweep.products"],
+		PassesVector: recVec.Report(1e-12).Counters["sweep.products"],
+	}, nil
+}
+
 type benchWorkload struct {
 	name string
 	fn   func(b *testing.B)
@@ -163,6 +223,45 @@ func workloads(m *mrm.MRM, goal *mrm.StateSet, workers int) []benchWorkload {
 		})
 	}
 
+	// The multi-vector contrast pairs: g bounds (or weighting vectors)
+	// advanced together through the block kernels against g runs of the
+	// one-vector path. The batched side reads the matrix once per level
+	// instead of g times.
+	batchRs := []float64{150, 350, rb, 700}
+	add("Table2SericolaBatch/g=4/batched", func() error {
+		_, err := sericola.ReachProbBatch(m, goal, tb, batchRs, sericola.Options{
+			Epsilon: 1e-8, Lambda: adhoc.PaperLambda, Workers: workers, Pool: pool,
+		})
+		return err
+	})
+	add("Table2SericolaBatch/g=4/individual", func() error {
+		for _, r := range batchRs {
+			if _, err := sericola.ReachProbAll(m, goal, tb, r, sericola.Options{
+				Epsilon: 1e-8, Lambda: adhoc.PaperLambda, Workers: workers, Pool: pool,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	weightVs := blockWeightVecs(m, goal)
+	add("TransientBackward/g=4/block", func() error {
+		_, err := transient.BackwardWeightedMulti(m, weightVs, tb, transient.Options{
+			Epsilon: 1e-12, Workers: workers, Pool: pool,
+		})
+		return err
+	})
+	add("TransientBackward/g=4/vector", func() error {
+		for _, v := range weightVs {
+			if _, err := transient.BackwardWeighted(m, v, tb, transient.Options{
+				Epsilon: 1e-12, Workers: workers, Pool: pool,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
 	for _, steady := range []struct {
 		label string
 		mode  transient.SteadyMode
@@ -202,8 +301,10 @@ func workloads(m *mrm.MRM, goal *mrm.StateSet, workers int) []benchWorkload {
 
 // benchJSON runs the workload matrix, writes the report to jsonPath (when
 // non-empty) and compares against baselinePath (when non-empty), returning
-// an error that lists every regression beyond the thresholds.
-func benchJSON(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, jsonPath, baselinePath string, workers int) error {
+// an error that lists every regression beyond the thresholds. With sweep
+// set, the matrix additionally times the parallel workloads at Workers ∈
+// {1,2,4,8} so the report carries speedup curves for the stamped num_cpu.
+func benchJSON(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, jsonPath, baselinePath string, workers int, sweep bool) error {
 	report := benchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -225,6 +326,53 @@ func benchJSON(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, jsonPath, baselinePa
 	}
 	fmt.Fprintln(w)
 
+	if sweep {
+		fmt.Fprintf(w, "Workers sweep (num_cpu=%d)\n\n", report.NumCPU)
+		fmt.Fprintf(w, "  %-44s %14s %10s\n", "workload", "ns/op", "speedup")
+		for _, sw := range []struct {
+			name string
+			fn   func(wk int) error
+		}{
+			{"Table2SericolaBatch/g=4", func(wk int) error {
+				_, err := sericola.ReachProbBatch(m, goal, adhoc.Q3TimeBound,
+					[]float64{150, 350, adhoc.Q3PaperRewardBound, 700}, sericola.Options{
+						Epsilon: 1e-8, Lambda: adhoc.PaperLambda, Workers: wk,
+					})
+				return err
+			}},
+			{"TransientBackward/g=4", func(wk int) error {
+				_, err := transient.BackwardWeightedMulti(m, blockWeightVecs(m, goal),
+					adhoc.Q3TimeBound, transient.Options{Epsilon: 1e-12, Workers: wk})
+				return err
+			}},
+		} {
+			var base float64
+			for _, wk := range []int{1, 2, 4, 8} {
+				wk, fn := wk, sw.fn
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := fn(wk); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				rec := benchRecord{
+					Name:        fmt.Sprintf("WorkersSweep/%s/workers=%d", sw.name, wk),
+					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+				}
+				report.Records = append(report.Records, rec)
+				if wk == 1 {
+					base = rec.NsPerOp
+				}
+				fmt.Fprintf(w, "  %-44s %14.0f %9.2fx\n", rec.Name, rec.NsPerOp, base/rec.NsPerOp)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
 	stats, err := collectStats(workers)
 	if err != nil {
 		return err
@@ -234,6 +382,17 @@ func benchJSON(w io.Writer, m *mrm.MRM, goal *mrm.StateSet, jsonPath, baselinePa
 	fmt.Fprintf(w, "  error budget: %.3g <= eps %.0e: %v\n", stats.BudgetTotal, stats.Epsilon, stats.BudgetOK)
 	fmt.Fprintf(w, "  memo: %d hits / %d misses (hit-rate %.3f)\n", stats.MemoHits, stats.MemoMisses, stats.MemoHitRate)
 	fmt.Fprintf(w, "  pool: %d gets, %d reuses\n\n", stats.PoolGets, stats.PoolReuses)
+
+	block, err := collectBlockStats(m, goal, workers)
+	if err != nil {
+		return err
+	}
+	report.Block = block
+	fmt.Fprintf(w, "Block kernel matrix passes (backward sweep, g=%d): %d block vs %d vector (×%.2f fewer)\n\n",
+		block.G, block.PassesBlock, block.PassesVector, float64(block.PassesVector)/float64(block.PassesBlock))
+	if block.PassesBlock >= block.PassesVector {
+		return fmt.Errorf("block kernel did not reduce matrix passes: %d block vs %d vector", block.PassesBlock, block.PassesVector)
+	}
 
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
@@ -268,6 +427,13 @@ func compareBaseline(w io.Writer, report benchReport, path string) error {
 	var base benchReport
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	// Benchmark baselines are per CPU count: speedup curves and parallel
+	// timings from a machine with a different core count are not comparable
+	// numbers, so refusing loudly beats reporting phantom regressions.
+	if base.NumCPU != report.NumCPU {
+		return fmt.Errorf("baseline %s was recorded with num_cpu=%d but this run has num_cpu=%d — baselines are per CPU count; regenerate the baseline on this machine (make bench-smoke) or compare on a matching one",
+			path, base.NumCPU, report.NumCPU)
 	}
 	baseByName := make(map[string]benchRecord, len(base.Records))
 	for _, r := range base.Records {

@@ -58,8 +58,9 @@ func run(args []string, w io.Writer) error {
 		dump     = fs.String("dump-model", "", "write the case-study MRM as JSON to this path and exit")
 		workers  = fs.Int("workers", 0, "worker goroutines for the numerical procedures (0 = all CPUs, 1 = sequential)")
 		compare  = fs.Bool("compare", false, "time one workload sequentially and in parallel and report the speedup")
-		jsonPath = fs.String("json", "", "run the benchmark matrix and write a BENCH_PR4.json-style report to this path")
+		jsonPath = fs.String("json", "", "run the benchmark matrix and write a BENCH_PR7.json-style report to this path")
 		baseline = fs.String("baseline", "", "compare the benchmark matrix against this stored report; exit non-zero on >20% time or >10% alloc regressions")
+		wkSweep  = fs.Bool("workers-sweep", false, "with -json/-baseline: additionally time the sweep matrix at Workers ∈ {1,2,4,8} so the report carries speedup curves (num_cpu is stamped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +86,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	if *jsonPath != "" || *baseline != "" {
-		if err := benchJSON(w, red.Model, goal, *jsonPath, *baseline, *workers); err != nil {
+		if err := benchJSON(w, red.Model, goal, *jsonPath, *baseline, *workers, *wkSweep); err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/performability/csrl/internal/adhoc"
 )
 
 func TestTable1Static(t *testing.T) {
@@ -149,6 +151,48 @@ func TestBaselineStatsGuards(t *testing.T) {
 	fresh.Stats.BudgetOK = false
 	if err := compareBaseline(&out, fresh, base); err == nil {
 		t.Error("losing the budget proof must fail")
+	}
+}
+
+// TestBaselineRefusesCPUMismatch pins the per-CPU-count baseline rule:
+// comparing a report against a baseline recorded on a machine with a
+// different core count must fail up front with an error naming both
+// counts, before any record-level comparison happens.
+func TestBaselineRefusesCPUMismatch(t *testing.T) {
+	data, err := json.Marshal(benchReport{NumCPU: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = compareBaseline(&out, benchReport{NumCPU: 8}, path)
+	if err == nil {
+		t.Fatal("num_cpu mismatch must refuse the comparison")
+	}
+	for _, want := range []string{"num_cpu=4", "num_cpu=8", "per CPU count"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestCollectBlockStats pins the matrix-pass contrast that motivates the
+// multi-vector kernels: with detection off both counts are structural, so
+// the vector path must cost exactly g block passes.
+func TestCollectBlockStats(t *testing.T) {
+	red, err := adhoc.Q3Reduced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := collectBlockStats(red.Model, red.Model.Label("goal"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PassesBlock == 0 || st.PassesVector != int64(st.G)*st.PassesBlock {
+		t.Errorf("structural pass counts off: %+v (want vector = g×block)", st)
 	}
 }
 

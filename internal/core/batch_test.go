@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/obs"
+)
+
+// rectModel is the four-state cycle used by the rectangle tests: 0 and 1
+// cycle (both Φ), absorbing goal 2 and trap 3.
+func rectModel(t *testing.T) *mrm.MRM {
+	t.Helper()
+	b := mrm.NewBuilder(4)
+	b.Rate(0, 1, 2).Rate(1, 0, 1).Rate(0, 2, 0.7).Rate(1, 2, 0.4).Rate(1, 3, 0.3)
+	b.Reward(0, 1).Reward(1, 3)
+	b.Label(0, "phi").Label(1, "phi").Label(2, "psi")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestUntilTimeRewardBatchBitwiseEqualsSingle pins the corner-batching
+// contract at the checker level: a batch sharing one time bound must
+// return, per reward bound, exactly the vector an unbatched call returns —
+// bitwise, across the worker grid and each P3 algorithm.
+func TestUntilTimeRewardBatchBitwiseEqualsSingle(t *testing.T) {
+	m := rectModel(t)
+	phi, psi := m.Label("phi"), m.Label("psi")
+	rs := []float64{4, 1, 7.5}
+	for _, alg := range []Algorithm{AlgSericola, AlgErlang, AlgDiscretise} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			opts := DefaultOptions()
+			opts.P3 = alg
+			opts.Workers = workers
+			c := New(m, opts)
+			batch, err := c.untilTimeRewardBatch(phi, psi, 3, rs)
+			if err != nil {
+				t.Fatalf("%v workers=%d: batch: %v", alg, workers, err)
+			}
+			// A fresh checker per bound so the single path cannot lean on
+			// memo state the batch populated.
+			for ri, r := range rs {
+				single, err := New(m, opts).untilTimeReward(phi, psi, 3, r)
+				if err != nil {
+					t.Fatalf("%v workers=%d r=%v: single: %v", alg, workers, r, err)
+				}
+				for s := range single {
+					if math.Float64bits(batch[ri][s]) != math.Float64bits(single[s]) {
+						t.Fatalf("%v workers=%d r=%v state %d: batch %g vs single %g — must be bitwise equal",
+							alg, workers, r, s, batch[ri][s], single[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClampRectangleResidue pins the ε-scaled residue policy that replaced
+// the hard-coded −1e-10 cutoff: residues within −nTerms·ε are legitimate
+// cancellation noise (clamped to zero, largest magnitude charged on the
+// ledger's indicative side); residues beyond the band are an error, not a
+// silent zero.
+func TestClampRectangleResidue(t *testing.T) {
+	opts := DefaultOptions() // Epsilon = 1e-9
+	opts.Obs = obs.New()
+	c := New(rectModel(t), opts)
+
+	// Within the band: nTerms = 4 corners → bound 4e-9.
+	out := []float64{0.25, -3.9e-9, 0, -1e-12}
+	if err := c.clampRectangleResidue(out, 4); err != nil {
+		t.Fatalf("in-band residue must clamp, not error: %v", err)
+	}
+	if out[1] != 0 || out[3] != 0 {
+		t.Errorf("in-band residues not clamped to zero: %v", out)
+	}
+	if out[0] != 0.25 {
+		t.Errorf("non-negative entry disturbed: %v", out[0])
+	}
+	rep := c.NumericsReport()
+	var charged bool
+	for _, ch := range rep.Indicative {
+		if ch.Component == "core" && ch.Term == "rectangle-residue" {
+			charged = true
+			if ch.Amount != 3.9e-9 {
+				t.Errorf("charged %g, want the largest clamped magnitude 3.9e-9", ch.Amount)
+			}
+		}
+	}
+	if !charged {
+		t.Errorf("clamped residue not on the indicative ledger: %+v", rep.Indicative)
+	}
+
+	// Beyond the band: an error naming the bound, not a silent clamp. The
+	// old cutoff would have zeroed −5e-9 silently; with two corners the
+	// band is 2e-9 and −5e-9 is inconsistent.
+	bad := []float64{0.1, -5e-9}
+	err := c.clampRectangleResidue(bad, 2)
+	if err == nil {
+		t.Fatal("out-of-band residue must error")
+	}
+	if !strings.Contains(err.Error(), "ε-scaled residue bound") {
+		t.Errorf("error should name the ε-scaled bound: %v", err)
+	}
+	if bad[1] != -5e-9 {
+		t.Errorf("erroring clamp must not rewrite the vector: %v", bad)
+	}
+
+	// The same magnitude is fine when four corners contributed.
+	ok := []float64{0.1, -5e-9}
+	if err := c.clampRectangleResidue(ok, 6); err != nil {
+		t.Fatalf("residue within a wider band must clamp: %v", err)
+	}
+}
+
+// TestRectangleBatchesCorners asserts the rectangle evaluation reaches its
+// four corners through two batch calls (one per distinct time bound): the
+// reduction memo sees exactly one miss, and the recorder's ledger stays
+// within budget with the rectangle-residue term present only on the
+// indicative side.
+func TestRectangleBatchesCorners(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Obs = obs.New()
+	c := New(rectModel(t), opts)
+	vals, err := c.Values(logic.MustParse("P=? [ phi U{t in [0.5,3], r in [1,4]} psi ]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, v := range vals {
+		if v < 0 || v > 1 {
+			t.Errorf("state %d: probability %v outside [0,1]", s, v)
+		}
+	}
+	rep := c.NumericsReport()
+	if !rep.BudgetOK {
+		t.Errorf("rectangle run must stay within budget:\n%s", rep.Format())
+	}
+	// The second time bound's batch must reuse the first's reduction and
+	// uniformised matrix — the memo records at least those two hits. (The
+	// miss count aggregates all three memo tables, so it is not pinned.)
+	if hits := rep.Gauges["memo.hits"]; hits < 2 {
+		t.Errorf("corner batches must share the reduction and uniformised matrix: memo.hits = %v, want >= 2", hits)
+	}
+	for _, ch := range rep.Budget {
+		if ch.Component == "core" {
+			t.Errorf("rectangle residue must be indicative, found bounded charge %+v", ch)
+		}
+	}
+}

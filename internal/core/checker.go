@@ -575,43 +575,42 @@ func (c *Checker) untilRectangle(phi, psi *mrm.StateSet, timeI, rewardJ logic.In
 	}
 	// Lower-bound corner terms are included only when the bound is
 	// strictly positive; a zero lower bound imposes no constraint (beyond
-	// the τ = 0 case of Ψ-start states, patched below).
-	out, err := c.untilTimeReward(phi, psi, timeI.Hi, rewardJ.Hi)
+	// the τ = 0 case of Ψ-start states, patched below). Corners sharing a
+	// time bound also share a reward-bound batch: their goal columns
+	// advance together through the memoised uniformised matrix, one P3
+	// recursion per distinct t instead of one per corner.
+	rs := []float64{rewardJ.Hi}
+	if rewardJ.Lo > 0 {
+		rs = append(rs, rewardJ.Lo)
+	}
+	f2, err := c.untilTimeRewardBatch(phi, psi, timeI.Hi, rs)
 	if err != nil {
 		return nil, err
 	}
-	subtract := func(vals []float64) {
+	out := f2[0] // F(t2, r2)
+	nTerms := len(rs)
+	if rewardJ.Lo > 0 {
 		for s := range out {
-			out[s] -= vals[s]
+			out[s] -= f2[1][s] // − F(t2, r1)
 		}
 	}
 	if timeI.Lo > 0 {
-		f12, err := c.untilTimeReward(phi, psi, timeI.Lo, rewardJ.Hi)
+		f1, err := c.untilTimeRewardBatch(phi, psi, timeI.Lo, rs)
 		if err != nil {
 			return nil, err
 		}
-		subtract(f12)
-	}
-	if rewardJ.Lo > 0 {
-		f21, err := c.untilTimeReward(phi, psi, timeI.Hi, rewardJ.Lo)
-		if err != nil {
-			return nil, err
-		}
-		subtract(f21)
-	}
-	if timeI.Lo > 0 && rewardJ.Lo > 0 {
-		f11, err := c.untilTimeReward(phi, psi, timeI.Lo, rewardJ.Lo)
-		if err != nil {
-			return nil, err
-		}
+		nTerms += len(rs)
 		for s := range out {
-			out[s] += f11[s]
+			out[s] -= f1[0][s] // − F(t1, r2)
+		}
+		if rewardJ.Lo > 0 {
+			for s := range out {
+				out[s] += f1[1][s] // + F(t1, r1)
+			}
 		}
 	}
-	for s := range out {
-		if out[s] < 0 && out[s] > -1e-10 {
-			out[s] = 0
-		}
+	if err := c.clampRectangleResidue(out, nTerms); err != nil {
+		return nil, err
 	}
 	// States already in Ψ at time 0 satisfy the formula iff 0 ∈ I and
 	// 0 ∈ J; the rectangle difference gives 0 for them (they are absorbed
@@ -622,6 +621,41 @@ func (c *Checker) untilRectangle(phi, psi *mrm.StateSet, timeI, rewardJ logic.In
 	return out, nil
 }
 
+// clampRectangleResidue handles the negative residue of the inclusion–
+// exclusion corner difference. Exactly, the difference is a probability in
+// [0,1]; numerically each of the nTerms corner evaluations carries up to
+// the run's ε of truncation error, so cancellation can leave residues as
+// negative as −nTerms·ε. Residues inside that band are legitimate roundoff:
+// they are clamped to 0 and the largest clamped magnitude is recorded on
+// the ledger's indicative side. Residues beyond it indicate the corner
+// values are inconsistent beyond what the accuracy can explain — returning
+// them (or silently zeroing them, as the previous hard-coded −1e-10 cutoff
+// did for everything below the cutoff) would hand the caller a wrong
+// probability, so they are an error.
+func (c *Checker) clampRectangleResidue(out []float64, nTerms int) error {
+	bound := float64(nTerms) * c.opts.Epsilon
+	var residue float64
+	for s := range out {
+		if out[s] >= 0 {
+			continue
+		}
+		if out[s] < -bound {
+			return fmt.Errorf("core: rectangle corner difference at state %d is %g, below the ε-scaled residue bound −%d·ε = %g — corner evaluations are inconsistent beyond the configured accuracy",
+				s, out[s], nTerms, -bound)
+		}
+		if -out[s] > residue {
+			residue = -out[s]
+		}
+		out[s] = 0
+	}
+	if c.opts.Obs != nil && residue > 0 {
+		// Measured cancellation magnitude, not a provable truncation bound:
+		// indicative, like sericola's clamp residue.
+		c.opts.Obs.ChargeIndicative("core", "rectangle-residue", residue)
+	}
+	return nil
+}
+
 func boolTo01(b bool) float64 {
 	if b {
 		return 1
@@ -630,8 +664,25 @@ func boolTo01(b bool) float64 {
 }
 
 // untilTimeReward implements the P3 procedure: the Theorem 1 reduction
-// followed by the configured Section 4 algorithm on the reduced model.
+// followed by the configured Section 4 algorithm on the reduced model. It
+// is the batch of one.
 func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float64, error) {
+	res, err := c.untilTimeRewardBatch(phi, psi, t, []float64{r})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// untilTimeRewardBatch evaluates the P3 procedure for several reward
+// bounds sharing one time bound: one Theorem 1 reduction serves the whole
+// batch, and with the Sericola algorithm the bounds advance together
+// through a single recursion over the memoised uniformised matrix
+// (sericola.ReachProbBatch). The Erlang and discretisation procedures have
+// no shared recursion to exploit — their models depend on the bound
+// resolution — so they loop, still sharing the reduction. results[ri] is
+// bitwise equal to an unbatched untilTimeReward(phi, psi, t, rs[ri]) call.
+func (c *Checker) untilTimeRewardBatch(phi, psi *mrm.StateSet, t float64, rs []float64) ([][]float64, error) {
 	// The memoised reduction makes the corner evaluations of
 	// untilRectangle share one reduced model, which in turn lets the
 	// pointer-keyed uniformised-matrix cache hit across them.
@@ -651,14 +702,22 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 		// impulse models work out of the box.
 		alg = AlgDiscretise
 	}
-	var values []float64
+	valuesList := make([][]float64, len(rs))
+	// putPartial returns the reduced-model vectors computed before a
+	// mid-batch failure; the pool must get every buffer back on the error
+	// path too.
+	putPartial := func(upTo int) {
+		for _, v := range valuesList[:upTo] {
+			c.pool.Put(v)
+		}
+	}
 	switch alg {
 	case AlgSericola:
 		var cache sericola.Cache
 		if c.memo != nil {
 			cache = c.memo
 		}
-		res, err := sericola.ReachProbAll(red.Model, goal, t, r, sericola.Options{
+		resList, err := sericola.ReachProbBatch(red.Model, goal, t, rs, sericola.Options{
 			Epsilon:      c.opts.Epsilon,
 			Workers:      c.opts.Workers,
 			SteadyDetect: c.opts.SteadyDetect,
@@ -669,48 +728,64 @@ func (c *Checker) untilTimeReward(phi, psi *mrm.StateSet, t, r float64) ([]float
 		if err != nil {
 			return nil, err
 		}
-		values = res.Values
+		for ri, res := range resList {
+			valuesList[ri] = res.Values
+		}
 	case AlgErlang:
 		// The Erlang expansion is a fresh model per call, so the
 		// pointer-keyed matrix cache could never hit — strip it to keep
 		// the memo from accumulating dead entries.
 		topts := c.transientOpts()
 		topts.Cache = nil
-		values, err = erlang.ReachProbAll(red.Model, goal, t, r, erlang.Options{
-			K:         c.opts.ErlangK,
-			Transient: topts,
-		})
-		if err != nil {
-			return nil, err
-		}
-	case AlgDiscretise:
-		d := c.opts.DiscretiseStep
-		if d == 0 {
-			d, err = deriveStep(red.Model, t, r)
+		for ri, r := range rs {
+			values, err := erlang.ReachProbAll(red.Model, goal, t, r, erlang.Options{
+				K:         c.opts.ErlangK,
+				Transient: topts,
+			})
 			if err != nil {
+				putPartial(ri)
 				return nil, err
 			}
+			valuesList[ri] = values
 		}
-		values, err = discretise.ReachProbAll(red.Model, goal, t, r, discretise.Options{
-			D:       d,
-			Workers: c.opts.Workers,
-			Pool:    c.pool,
-			Obs:     c.opts.Obs,
-		})
-		if err != nil {
-			return nil, err
+	case AlgDiscretise:
+		for ri, r := range rs {
+			d := c.opts.DiscretiseStep
+			if d == 0 {
+				d, err = deriveStep(red.Model, t, r)
+				if err != nil {
+					putPartial(ri)
+					return nil, err
+				}
+			}
+			values, err := discretise.ReachProbAll(red.Model, goal, t, r, discretise.Options{
+				D:       d,
+				Workers: c.opts.Workers,
+				Pool:    c.pool,
+				Obs:     c.opts.Obs,
+			})
+			if err != nil {
+				putPartial(ri)
+				return nil, err
+			}
+			valuesList[ri] = values
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown P3 algorithm %v", c.opts.P3)
 	}
-	out := make([]float64, c.m.N())
-	for s := range out {
-		out[s] = values[red.StateMap[s]]
+	outs := make([][]float64, len(rs))
+	for ri, values := range valuesList {
+		out := make([]float64, c.m.N())
+		for s := range out {
+			out[s] = values[red.StateMap[s]]
+		}
+		// The reduced-model vector is dead once mapped back; feed it to
+		// the pool so the next corner evaluation of untilRectangle reuses
+		// it.
+		c.pool.Put(values)
+		outs[ri] = out
 	}
-	// The reduced-model vector is dead once mapped back; feed it to the
-	// pool so the next corner evaluation of untilRectangle reuses it.
-	c.pool.Put(values)
-	return out, nil
+	return outs, nil
 }
 
 // stepIntTol is the relative tolerance under which a quotient counts as an

@@ -21,6 +21,9 @@ var knownTerms = map[string]map[string]bool{
 		"series-remainder": true, // occupation-time series mass past N_ε
 		"clamp-residue":    true, // cancellation noise absorbed by the [0,1] clamp (indicative)
 	},
+	"core": {
+		"rectangle-residue": true, // negative corner-difference residue clamped by untilRectangle (indicative)
+	},
 	"erlang": {
 		"k-approximation": true, // Erlang-k phase-type approximation order (indicative)
 	},

@@ -104,8 +104,42 @@ type Result struct {
 }
 
 // ReachProbAll computes Pr{Y_t ≤ r, X_t ∈ goal | X₀ = i} for every state i,
-// the quantity required by Theorem 2 of the paper.
+// the quantity required by Theorem 2 of the paper. It is the batch of one:
+// see ReachProbBatch for several reward bounds sharing one recursion.
 func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*Result, error) {
+	res, err := ReachProbBatch(m, goal, t, []float64{r}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// target is one reward bound's coordinates in the recursion: the band h
+// with rShift ∈ [ρ_{h−1}t, ρ_h t) and the position x inside it. The
+// C(h,n,k) recursion itself never reads r — bounds differ only in which
+// band's matrices they read and in their binomial accumulation weights —
+// which is exactly why a batch shares one recursion pass.
+type target struct {
+	h int
+	x float64
+}
+
+// ReachProbBatch computes ReachProbAll for several reward bounds rs that
+// share the model, goal set and time bound t, advancing all of them
+// through a single C(h,n,k) recursion: the level matrices and the
+// Poisson-weighted transient term are computed once, and each bound only
+// adds its own binomial-weighted accumulation. When every bound lands on
+// the same leg — all banded, or all vacuous — results[ri] is bitwise
+// equal to ReachProbAll(m, goal, t, rs[ri], opts): the per-bound
+// accumulators add the identical terms in the identical order, at a
+// recursion cost of one instead of len(rs). A mixed batch runs both the
+// transient sweep and the recursion, so the ε budget is split half per
+// leg (see splitBudget); every result still meets the ε contract, at
+// slightly tighter truncation points than the unbatched calls would use.
+// Degenerate bounds (certainly exceeded, or vacuous against the maximal
+// accumulable reward) are resolved without touching the recursion;
+// vacuous bounds share one transient sweep.
+func ReachProbBatch(m *mrm.MRM, goal *mrm.StateSet, t float64, rs []float64, opts Options) ([]*Result, error) {
 	if opts.Epsilon <= 0 {
 		opts.Epsilon = DefaultOptions().Epsilon
 	}
@@ -116,25 +150,32 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 	if m.HasImpulses() {
 		return nil, fmt.Errorf("sericola: %w", mrm.ErrImpulsesUnsupported)
 	}
-	if t < 0 || r < 0 {
-		return nil, fmt.Errorf("sericola: negative bound t=%v r=%v", t, r)
+	for _, r := range rs {
+		if t < 0 || r < 0 {
+			return nil, fmt.Errorf("sericola: negative bound t=%v r=%v", t, r)
+		}
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("sericola: negative bound t=%v", t)
+	}
+	results := make([]*Result, len(rs))
+	if len(rs) == 0 {
+		return results, nil
 	}
 	if t == 0 {
 		// Y_0 = 0 ≤ r; the chain has not moved.
-		res := &Result{Values: make([]float64, n)}
-		goal.Each(func(i int) { res.Values[i] = 1 })
-		return res, nil
+		for ri := range rs {
+			res := &Result{Values: make([]float64, n)}
+			goal.Each(func(i int) { res.Values[i] = 1 })
+			results[ri] = res
+		}
+		return results, nil
 	}
 
 	// Shift rewards so that the smallest reward is 0 (the theorem requires
 	// ρ₀ = 0): Y_t = ρ_min·t + Y'_t deterministically.
 	rewards := m.DistinctRewards()
 	rhoMin := rewards[0]
-	rShift := r - rhoMin*t
-	if rShift < 0 {
-		// The accumulated reward exceeds r with certainty.
-		return &Result{Values: make([]float64, n)}, nil
-	}
 	shifted := make([]float64, len(rewards))
 	for i, v := range rewards {
 		shifted[i] = v - rhoMin
@@ -146,26 +187,57 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 		lambda = m.UniformisationRate()
 	}
 
-	if mBands == 0 || rShift >= shifted[mBands]*t {
-		// Either all rewards are equal (Y_t = ρ·t ≤ r guaranteed by the
-		// rShift check above) or the bound exceeds the maximal accumulable
-		// reward: the reward constraint is vacuous and a plain transient
-		// analysis suffices.
-		vals, err := transientGoal(m, goal, t, lambda, opts)
+	// Classify every bound: certainly exceeded (zero result), vacuous
+	// (plain transient analysis) or banded (a recursion target).
+	var targets []target
+	var tgtResult []int // tgtResult[ti] = index into results
+	var vacuous []int
+	for ri, r := range rs {
+		rShift := r - rhoMin*t
+		switch {
+		case rShift < 0:
+			// The accumulated reward exceeds r with certainty.
+			results[ri] = &Result{Values: make([]float64, n)}
+		case mBands == 0 || rShift >= shifted[mBands]*t:
+			// Either all rewards are equal (Y_t = ρ·t ≤ r guaranteed by the
+			// rShift check above) or the bound exceeds the maximal
+			// accumulable reward: the reward constraint is vacuous and a
+			// plain transient analysis suffices.
+			vacuous = append(vacuous, ri)
+		default:
+			// Locate the band h with rShift ∈ [ρ_{h-1}t, ρ_h t).
+			h := 1
+			for shifted[h]*t <= rShift {
+				h++
+			}
+			x := (rShift - shifted[h-1]*t) / ((shifted[h] - shifted[h-1]) * t)
+			targets = append(targets, target{h: h, x: x})
+			tgtResult = append(tgtResult, ri)
+		}
+	}
+	sweepEps, bandEps := splitBudget(opts.Epsilon, len(vacuous), len(targets))
+	if len(vacuous) > 0 {
+		// One backward sweep serves every vacuous bound; each Result owns
+		// its Values, so later entries get copies.
+		vals, err := transientGoal(m, goal, t, lambda, sweepEps, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Values: vals}, nil
+		for vi, ri := range vacuous {
+			if vi == 0 {
+				results[ri] = &Result{Values: vals}
+				continue
+			}
+			cp := make([]float64, n)
+			copy(cp, vals)
+			results[ri] = &Result{Values: cp}
+		}
+	}
+	if len(targets) == 0 {
+		return results, nil
 	}
 
-	// Locate the band h with rShift ∈ [ρ_{h-1}t, ρ_h t).
-	h := 1
-	for shifted[h]*t <= rShift {
-		h++
-	}
-	x := (rShift - shifted[h-1]*t) / ((shifted[h] - shifted[h-1]) * t)
-
-	nSteps, err := numeric.PoissonTruncation(lambda*t, opts.Epsilon)
+	nSteps, err := numeric.PoissonTruncation(lambda*t, bandEps)
 	if err != nil {
 		return nil, fmt.Errorf("sericola: %w", err)
 	}
@@ -198,7 +270,8 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 	if opts.Obs != nil {
 		// The a-priori bound guarantees the mass past N_ε is below ε; the
 		// ledger records the actual series remainder 1 − Σ_{n≤N} pois(n),
-		// which the inner sums (bounded by 1, Cor. 5.8) cannot exceed.
+		// which the inner sums (bounded by 1, Cor. 5.8) cannot exceed. The
+		// batch runs the truncated series once, so it charges once.
 		var kept float64
 		for k := 0; k <= nSteps; k++ {
 			kept += poisPMF(k)
@@ -225,58 +298,66 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*
 	g := len(cols)
 
 	span := opts.Obs.StartSpan("sericola.recursion")
-	hMat, tMat := run(p, rho, shifted, h, x, poisPMF, lf, nSteps, opts.Workers, cols, opts.Pool)
+	hMats, tMat := run(p, rho, shifted, targets, poisPMF, lf, nSteps, opts.Workers, cols, opts.Pool)
 	span.End()
+	putAll := func() {
+		for _, hm := range hMats {
+			opts.Pool.Put(hm)
+		}
+		opts.Pool.Put(tMat)
+	}
 
-	res := &Result{Values: make([]float64, n), N: nSteps}
-	var clampResidue float64
-	for i := 0; i < n; i++ {
-		var v float64
-		for j, col := range cols {
-			// In sliced mode every carried column is a goal column; in
-			// full-width mode restrict the sum to them, in the same
-			// ascending order, so both paths add the identical terms.
-			if opts.FullWidth && !goal.Contains(col) {
-				continue
+	for ti := range targets {
+		hMat := hMats[ti]
+		res := &Result{Values: make([]float64, n), N: nSteps}
+		var clampResidue float64
+		for i := 0; i < n; i++ {
+			var v float64
+			for j, col := range cols {
+				// In sliced mode every carried column is a goal column; in
+				// full-width mode restrict the sum to them, in the same
+				// ascending order, so both paths add the identical terms.
+				if opts.FullWidth && !goal.Contains(col) {
+					continue
+				}
+				v += tMat[i*g+j] - hMat[i*g+j]
 			}
-			v += tMat[i*g+j] - hMat[i*g+j]
+			// Floating-point cancellation can land slightly outside [0,1] on
+			// either side; clamp symmetrically within clampTol and refuse to
+			// return silently wrong probabilities beyond it.
+			switch {
+			case v < 0:
+				if v < -clampTol {
+					putAll()
+					return nil, fmt.Errorf("sericola: value %g at state %d is below 0 beyond the %g cancellation tolerance", v, i, clampTol)
+				}
+				if -v > clampResidue {
+					clampResidue = -v
+				}
+				v = 0
+			case v > 1:
+				if v > 1+clampTol {
+					putAll()
+					return nil, fmt.Errorf("sericola: value %g at state %d exceeds 1 beyond the %g cancellation tolerance", v, i, clampTol)
+				}
+				if v-1 > clampResidue {
+					clampResidue = v - 1
+				}
+				v = 1
+			}
+			res.Values[i] = v
 		}
-		// Floating-point cancellation can land slightly outside [0,1] on
-		// either side; clamp symmetrically within clampTol and refuse to
-		// return silently wrong probabilities beyond it.
-		switch {
-		case v < 0:
-			if v < -clampTol {
-				opts.Pool.Put(hMat)
-				opts.Pool.Put(tMat)
-				return nil, fmt.Errorf("sericola: value %g at state %d is below 0 beyond the %g cancellation tolerance", v, i, clampTol)
-			}
-			if -v > clampResidue {
-				clampResidue = -v
-			}
-			v = 0
-		case v > 1:
-			if v > 1+clampTol {
-				opts.Pool.Put(hMat)
-				opts.Pool.Put(tMat)
-				return nil, fmt.Errorf("sericola: value %g at state %d exceeds 1 beyond the %g cancellation tolerance", v, i, clampTol)
-			}
-			if v-1 > clampResidue {
-				clampResidue = v - 1
-			}
-			v = 1
+		if opts.Obs != nil && clampResidue > 0 {
+			// Cancellation noise absorbed by the [0,1] clamp — a measured
+			// round-off magnitude, not a provable truncation bound, so it
+			// rides in the indicative section, one entry per bound exactly
+			// as the unbatched calls would charge.
+			opts.Obs.ChargeIndicative("sericola", "clamp-residue", clampResidue)
 		}
-		res.Values[i] = v
+		results[tgtResult[ti]] = res
 	}
-	if opts.Obs != nil && clampResidue > 0 {
-		// Cancellation noise absorbed by the [0,1] clamp — a measured
-		// round-off magnitude, not a provable truncation bound, so it rides
-		// in the indicative section.
-		opts.Obs.ChargeIndicative("sericola", "clamp-residue", clampResidue)
-	}
-	opts.Pool.Put(hMat)
-	opts.Pool.Put(tMat)
-	return res, nil
+	putAll()
+	return results, nil
 }
 
 // ReachProb computes the Theorem 2 quantity from the model's initial
@@ -298,9 +379,20 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (floa
 const runGrain = 2048
 
 // run executes the C(h,n,k) recursion restricted to the given column set
-// and returns (H, Pois-weighted transient matrix), both flattened row-major
-// n×g with column j holding original column cols[j]. poisPMF and lf are the
-// precomputed Poisson pmf and log-factorial tables covering 0..nSteps.
+// and returns (per-target H matrices, Pois-weighted transient matrix), all
+// flattened row-major n×g with column j holding original column cols[j].
+// poisPMF and lf are the precomputed Poisson pmf and log-factorial tables
+// covering 0..nSteps.
+//
+// Batching: the level matrices cur[h][k] cover every band h, so they are
+// target-independent — a target only selects which band it reads
+// (cur[target.h]) and the binomial row binoms[ti] it weights the read
+// with. Each additional target therefore costs one extra n×g accumulator
+// and one binomial row per level, while the recursion itself (the dominant
+// O(m·N²) row products) runs once for the whole batch. For each target the
+// accumulation performs the identical floating-point operations in the
+// identical order as a single-target run, so batch results are bitwise
+// equal to unbatched ones.
 //
 // Column slicing is exact: every operation of the recursion — the PC
 // products (P·C)[i,j] = Σ_l P[i,l]·C[l,j], the Pⁿ update, the up/down
@@ -324,9 +416,9 @@ const runGrain = 2048
 // Allocation: every n×g buffer is checked out of pool (nil-safe). The
 // leased bank buffers are checked back in before run returns — always by
 // the goroutine that owns the sequential bank bookkeeping, never inside
-// the parallel region; only the returned hMat/tMat stay checked out, and
-// ReachProbAll returns those after summing.
-func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF func(int) float64, lf []float64, nSteps, workers int, cols []int, pool *sparse.VecPool) (hMat, tMat []float64) {
+// the parallel region; only the returned hMats/tMat stay checked out, and
+// ReachProbBatch returns those after summing.
+func run(p *sparse.CSR, rho, bands []float64, targets []target, poisPMF func(int) float64, lf []float64, nSteps, workers int, cols []int, pool *sparse.VecPool) (hMats [][]float64, tMat []float64) {
 	n := p.Dim()
 	g := len(cols)
 	mBands := len(bands) - 1
@@ -376,13 +468,19 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 	}
 	pnNext := newBank()
 
-	hMat = pool.Get(sz)
+	hMats = make([][]float64, len(targets))
+	for ti := range hMats {
+		hMats[ti] = pool.Get(sz)
+	}
 	tMat = pool.Get(sz)
 
-	// Binomial pmf row of the current level, recomputed sequentially before
-	// each level's parallel region (read-only inside it) — once per level,
-	// not once per worker.
-	binom := make([]float64, nSteps+1)
+	// Binomial pmf rows of the current level, one per target, recomputed
+	// sequentially before each level's parallel region (read-only inside
+	// it) — once per level, not once per worker.
+	binoms := make([][]float64, len(targets))
+	for ti := range binoms {
+		binoms[ti] = make([]float64, nSteps+1)
+	}
 
 	// Level n = 0: C(h,0,0) = diag(1{up(h,i)}), restricted columns. The
 	// bank headers are sized for the whole run upfront, so the rotation
@@ -403,90 +501,48 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 		if w == 0 {
 			return
 		}
-		numeric.BinomialRow(lf, level, x, binom)
 		for idx := 0; idx < sz; idx++ {
 			tMat[idx] += w * pn[idx]
 		}
-		ck := cur[hTarget]
-		for k := 0; k <= level; k++ {
-			bw := binom[k]
-			if bw == 0 {
-				continue
-			}
-			c := ck[k]
-			f := w * bw
-			for idx := 0; idx < sz; idx++ {
-				hMat[idx] += f * c[idx]
+		for ti := range targets {
+			numeric.BinomialRow(lf, level, targets[ti].x, binoms[ti])
+			ck := cur[targets[ti].h]
+			hM := hMats[ti]
+			for k := 0; k <= level; k++ {
+				bw := binoms[ti][k]
+				if bw == 0 {
+					continue
+				}
+				c := ck[k]
+				f := w * bw
+				for idx := 0; idx < sz; idx++ {
+					hM[idx] += f * c[idx]
+				}
 			}
 		}
 	}
 	accumulate(0)
 
-	// Flatten P into plain CSR arrays once: the recursion performs
-	// O(m·N²·n) row products, and the closure-based Row iteration costs an
-	// indirect call per nonzero — the dominant overhead once the columns
-	// are sliced down to g ≪ n. Iteration order is the CSR row order
-	// either way, so the products stay bitwise identical.
-	var nnz int
-	for i := 0; i < n; i++ {
-		p.Row(i, func(int, float64) { nnz++ })
-	}
-	rowStart := make([]int, n+1)
-	colIdx := make([]int, nnz)
-	vals := make([]float64, nnz)
-	for i, e := 0, 0; i < n; i++ {
-		rowStart[i] = e
-		p.Row(i, func(col int, v float64) {
-			colIdx[e], vals[e] = col, v
-			e++
-		})
-		rowStart[i+1] = e
-	}
-
-	mulRow := func(dst, src []float64, i int) {
-		// dst row i = (P·src) row i, over the carried columns.
-		base := i * g
-		for j := 0; j < g; j++ {
-			dst[base+j] = 0
-		}
-		for e := rowStart[i]; e < rowStart[i+1]; e++ {
-			v := vals[e]
-			srow := colIdx[e] * g
-			for j := 0; j < g; j++ {
-				dst[base+j] += v * src[srow+j]
-			}
-		}
-	}
-	if g == 1 {
-		// Single goal column: the inner j-loop collapses; accumulate in a
-		// register in the same order as above (zero, then add in CSR row
-		// order), which keeps the result bitwise identical.
-		mulRow = func(dst, src []float64, i int) {
-			var s float64
-			for e := rowStart[i]; e < rowStart[i+1]; e++ {
-				s += vals[e] * src[colIdx[e]]
-			}
-			dst[i] = s
-		}
-	}
-
 	// The per-level parallel body is hoisted out of the level loop (its
 	// level-dependent inputs are captured by reference) so the loop does
-	// not allocate a fresh closure per level.
+	// not allocate a fresh closure per level. The row products go through
+	// sparse.MulBlockRows — the multi-vector kernel's row-range core, one
+	// read of the matrix's stored entries per row for all g carried
+	// columns, with a register specialisation at g = 1; its zero-then-
+	// accumulate order in CSR entry order keeps the products bitwise
+	// identical to the previous hand-rolled flatten.
 	var (
 		level int
 		w     float64
 	)
 	levelBody := func(lo, hi int) {
 		// PC[h][k] = P·C(h, level−1, k) and Pⁿ, rows lo..hi−1.
-		for i := lo; i < hi; i++ {
-			for h := 1; h <= mBands; h++ {
-				for k := 0; k < level; k++ {
-					mulRow(pc[h][k], prev[h][k], i)
-				}
+		for h := 1; h <= mBands; h++ {
+			for k := 0; k < level; k++ {
+				p.MulBlockRows(pc[h][k], prev[h][k], g, lo, hi)
 			}
-			mulRow(pnNext, pn, i)
 		}
+		p.MulBlockRows(pnNext, pn, g, lo, hi)
 		// Up-row sweep: increasing h, increasing k.
 		for h := 1; h <= mBands; h++ {
 			dh := bands[h] - bands[h-1]
@@ -546,23 +602,27 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 				}
 			}
 		}
-		// Accumulate rows lo..hi−1 into tMat/hMat (row-local writes).
+		// Accumulate rows lo..hi−1 into tMat and every target's hMat
+		// (row-local writes).
 		if w == 0 {
 			return
 		}
 		for idx := lo * g; idx < hi*g; idx++ {
 			tMat[idx] += w * pnNext[idx]
 		}
-		ck := cur[hTarget]
-		for k := 0; k <= level; k++ {
-			bw := binom[k]
-			if bw == 0 {
-				continue
-			}
-			c := ck[k]
-			f := w * bw
-			for idx := lo * g; idx < hi*g; idx++ {
-				hMat[idx] += f * c[idx]
+		for ti := range targets {
+			ck := cur[targets[ti].h]
+			hM := hMats[ti]
+			for k := 0; k <= level; k++ {
+				bw := binoms[ti][k]
+				if bw == 0 {
+					continue
+				}
+				c := ck[k]
+				f := w * bw
+				for idx := lo * g; idx < hi*g; idx++ {
+					hM[idx] += f * c[idx]
+				}
 			}
 		}
 	}
@@ -603,24 +663,42 @@ func run(p *sparse.CSR, rho, bands []float64, hTarget int, x float64, poisPMF fu
 		// the up/down sweeps and the accumulation — in sequential order.
 		w = poisPMF(level)
 		if w != 0 {
-			numeric.BinomialRow(lf, level, x, binom)
+			for ti := range targets {
+				numeric.BinomialRow(lf, level, targets[ti].x, binoms[ti])
+			}
 		}
 		parallel.For(workers, n, levelBody)
 		pn, pnNext = pnNext, pn
 	}
-	// Check the slab back in (hMat/tMat stay out; the caller returns them
+	// Check the slab back in (hMats/tMat stay out; the caller returns them
 	// after the goal-column summation).
 	pool.Put(slab)
-	return hMat, tMat
+	return hMats, tMat
+}
+
+// splitBudget divides the ε budget between the two truncating legs of a
+// batch: the transient sweep serving the vacuous bounds and the banded
+// C(h,n,k) recursion. A leg that runs alone keeps the whole budget, so a
+// batch of one is bitwise-identical to the unbatched call; a mixed batch
+// gives each leg ε/2 (the same split discipline as the Fox–Glynn/steady
+// division in internal/transient), keeping every path's total spend at ε.
+func splitBudget(eps float64, nVacuous, nBanded int) (sweepEps, bandEps float64) {
+	if nVacuous == 0 {
+		return 0, eps
+	}
+	if nBanded == 0 {
+		return eps, 0
+	}
+	return eps / 2, eps / 2
 }
 
 // transientGoal returns Σ_{j∈goal} Pr_i{X_t = j} for all i by one backward
 // uniformisation sweep — the degenerate case where the reward bound is
 // vacuous. It delegates to internal/transient, which brings steady-state
 // detection and pooled scratch along for free.
-func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda float64, opts Options) ([]float64, error) {
+func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda, eps float64, opts Options) ([]float64, error) {
 	topts := transient.Options{
-		Epsilon:      opts.Epsilon,
+		Epsilon:      eps,
 		Lambda:       lambda,
 		Workers:      opts.Workers,
 		SteadyDetect: opts.SteadyDetect,

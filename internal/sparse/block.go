@@ -1,0 +1,326 @@
+package sparse
+
+import (
+	"math"
+
+	"github.com/performability/csrl/internal/parallel"
+)
+
+// Block is a dense n×g column block: g column vectors of length n stored
+// row-major in one slab, so data[i*g+j] is element i of column j. The block
+// kernels below advance all g columns through one pass over a CSR matrix —
+// one read of the matrix's val/col arrays per row instead of g — which is
+// the memory-traffic win the multi-vector callers (Sericola goal columns,
+// transient weighting vectors, rectangle-until corners) are after.
+//
+// Blocks are pool-aware: NewBlock draws the slab from a VecPool (nil-safe)
+// and Release returns it. DropCol narrows the block in place; Release still
+// returns the original slab, so pool keying by exact length stays intact.
+type Block struct {
+	n, g int
+	data []float64 // active n×g view, row-major
+	slab []float64 // original allocation, returned by Release
+}
+
+// NewBlock returns a zeroed n×g block whose slab comes from pool (a nil
+// pool allocates directly).
+func NewBlock(n, g int, pool *VecPool) *Block {
+	if n < 0 || g < 0 {
+		//lint:ignore bannedcall negative dimensions are a programmer error, same contract as the CSR kernels
+		panic("sparse: NewBlock negative dimension")
+	}
+	slab := pool.Get(n * g)
+	return &Block{n: n, g: g, data: slab, slab: slab}
+}
+
+// Dim returns the number of rows n.
+func (b *Block) Dim() int { return b.n }
+
+// Cols returns the current number of columns g (DropCol shrinks it).
+func (b *Block) Cols() int { return b.g }
+
+// Data returns the active row-major slab of length n·g. The slice aliases
+// the block; it is invalidated by DropCol.
+func (b *Block) Data() []float64 {
+	//lint:ignore aliasret aliasing is the documented contract: the slab is the kernels' in/out buffer and a copy per sweep level would defeat the single-slab design
+	return b.data
+}
+
+// Row returns row i as a slice of length g aliasing the block.
+func (b *Block) Row(i int) []float64 {
+	//lint:ignore aliasret aliasing is the documented contract: per-row views feed the hot accumulation loops and must not allocate
+	return b.data[i*b.g : (i+1)*b.g]
+}
+
+// At returns element i of column j.
+func (b *Block) At(i, j int) float64 { return b.data[i*b.g+j] }
+
+// Set assigns element i of column j.
+func (b *Block) Set(i, j int, v float64) { b.data[i*b.g+j] = v }
+
+// SetCol copies src (length n) into column j.
+func (b *Block) SetCol(j int, src []float64) {
+	if len(src) != b.n {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: SetCol dimension mismatch")
+	}
+	for i, v := range src {
+		b.data[i*b.g+j] = v
+	}
+}
+
+// Col copies column j into dst (length n).
+func (b *Block) Col(dst []float64, j int) {
+	if len(dst) != b.n {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: Col dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = b.data[i*b.g+j]
+	}
+}
+
+// ColAXPY accumulates dst += alpha·column j, visiting rows in ascending
+// order — the same element order as AXPY on a standalone vector, so the
+// block path stays bitwise equal to the per-vector path.
+func (b *Block) ColAXPY(alpha float64, j int, dst []float64) {
+	if len(dst) != b.n {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: ColAXPY dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] += alpha * b.data[i*b.g+j]
+	}
+}
+
+// AXPYIntoCol accumulates column j += alpha·src, the in-block mirror of
+// ColAXPY, again in ascending row order.
+func (b *Block) AXPYIntoCol(alpha float64, j int, src []float64) {
+	if len(src) != b.n {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: AXPYIntoCol dimension mismatch")
+	}
+	for i, v := range src {
+		b.data[i*b.g+j] += alpha * v
+	}
+}
+
+// ColMaxDiff returns max_i |b[i,j] − o[i,j]|, evaluated in the same
+// ascending-row order as MaxDiff on standalone vectors so steady-state
+// detection decides identically on the block and vector paths.
+func (b *Block) ColMaxDiff(o *Block, j int) float64 {
+	var mx float64
+	for i := 0; i < b.n; i++ {
+		if d := math.Abs(b.data[i*b.g+j] - o.data[i*b.g+j]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// DropCol removes column j in place by left-packing the remaining columns,
+// shrinking the block to n×(g−1). The pack walks rows in ascending order,
+// so every write lands at or before its read position and no live element
+// is clobbered. Slices previously returned by Data or Row are invalidated.
+func (b *Block) DropCol(j int) {
+	if j < 0 || j >= b.g {
+		//lint:ignore bannedcall out-of-range column is a programmer error, same contract as the CSR kernels
+		panic("sparse: DropCol column out of range")
+	}
+	g := b.g
+	w := 0
+	for i := 0; i < b.n; i++ {
+		row := b.data[i*g : (i+1)*g]
+		for jj, v := range row {
+			if jj == j {
+				continue
+			}
+			b.data[w] = v
+			w++
+		}
+	}
+	b.g = g - 1
+	b.data = b.data[:b.n*b.g]
+}
+
+// Release returns the block's original slab to pool (nil-safe) and clears
+// the block. The caller must not use the block afterwards.
+func (b *Block) Release(pool *VecPool) {
+	pool.Put(b.slab)
+	b.data, b.slab, b.n, b.g = nil, nil, 0, 0
+}
+
+// MulBlockRows computes rows [lo, hi) of dst = M·src for n×g row-major
+// blocks given as raw slabs of length n·g. It is the shared row-range core
+// of MulBlock and MulBlockPar, exported so callers that manage their own
+// slabs (the Sericola level recursion) can reuse it inside their own
+// parallel regions. Each dst row is zeroed and then accumulated in stored-
+// entry order, which is the bitwise-identical memory-form of MulVec's
+// register accumulation: IEEE-754 rounds each += to a double either way,
+// so column j of the result equals MulVec applied to column j of src.
+// dst and src must not alias.
+func (m *CSR) MulBlockRows(dst, src []float64, g, lo, hi int) {
+	if g < 1 || len(dst) != m.n*g || len(src) != m.n*g || lo < 0 || hi < lo || hi > m.n {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: MulBlockRows dimension mismatch")
+	}
+	if g == 1 {
+		// Register specialisation: identical arithmetic, fewer stores.
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+				s += m.val[k] * src[m.col[k]]
+			}
+			dst[i] = s
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		drow := dst[i*g : (i+1)*g]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			v := m.val[k]
+			srow := src[m.col[k]*g : (m.col[k]+1)*g]
+			for j, sv := range srow {
+				drow[j] += v * sv
+			}
+		}
+	}
+}
+
+// MulBlock computes dst = M·src, advancing all g columns through one pass
+// over the matrix. Column j of dst is bitwise equal to MulVec applied to
+// column j of src. dst and src must not alias and must agree on shape.
+func (m *CSR) MulBlock(dst, src *Block) {
+	if dst.n != m.n || src.n != m.n || dst.g != src.g {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: MulBlock dimension mismatch")
+	}
+	m.MulBlockRows(dst.data, src.data, src.g, 0, m.n)
+}
+
+// MulBlockPar computes dst = M·src like MulBlock, partitioned across
+// workers with the same nnz-balanced rowCuts as MulVecPar. Each worker
+// owns a contiguous row range and evaluates it exactly as the sequential
+// kernel does, so the result is bitwise identical to MulBlock — and hence
+// to g separate MulVec calls — for every workers value. The fan-out
+// threshold scales with g: one block pass does g vectors' worth of work.
+func (m *CSR) MulBlockPar(dst, src *Block, workers int) {
+	if dst.n != m.n || src.n != m.n || dst.g != src.g {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: MulBlockPar dimension mismatch")
+	}
+	w := resolveWorkers(workers, m.NNZ()*src.g, m.n)
+	if w == 1 {
+		m.MulBlockRows(dst.data, src.data, src.g, 0, m.n)
+		return
+	}
+	g := src.g
+	cuts := m.rowCuts(w)
+	tasks := make([]func(), 0, len(cuts)-1)
+	for c := 0; c+1 < len(cuts); c++ {
+		lo, hi := cuts[c], cuts[c+1]
+		tasks = append(tasks, func() {
+			m.MulBlockRows(dst.data, src.data, g, lo, hi)
+		})
+	}
+	parallel.Do(tasks...)
+}
+
+// MulBlockT computes dst = Mᵀ·src for n×g blocks: column j of dst is
+// bitwise equal to MulVecT applied to column j of src. The per-element
+// zero skip mirrors MulVecT's whole-row skip, so each column performs
+// exactly the arithmetic the vector kernel would (including the ±0 edge
+// cases the skip sidesteps). dst and src must not alias.
+func (m *CSR) MulBlockT(dst, src *Block) {
+	if dst.n != m.n || src.n != m.n || dst.g != src.g {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: MulBlockT dimension mismatch")
+	}
+	g := src.g
+	mulBlockTRange(m, dst.data, src.data, g, 0, m.n)
+}
+
+// mulBlockTRange scatters rows [lo, hi) of src through Mᵀ into dst,
+// zeroing dst first. Shared between MulBlockT (full range) and the
+// per-worker partitions of MulBlockTPar.
+func mulBlockTRange(m *CSR, dst, src []float64, g, lo, hi int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := lo; i < hi; i++ {
+		srow := src[i*g : (i+1)*g]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			v := m.val[k]
+			drow := dst[m.col[k]*g : (m.col[k]+1)*g]
+			for j, sv := range srow {
+				if sv == 0 {
+					continue
+				}
+				drow[j] += v * sv
+			}
+		}
+	}
+}
+
+// MulBlockTPar computes dst = Mᵀ·src like MulBlockT, partitioned across
+// workers exactly as MulVecTPar: each worker scatters its nnz-balanced row
+// range into a private n×g buffer, and the buffers are reduced into dst in
+// worker order. Column j of the result is bitwise equal to MulVecTPar on
+// column j of src at the same workers value (and, like MulVecTPar, agrees
+// with the sequential kernel up to roundoff from the worker-order
+// reduction). Because the fan-out decision changes the reduction order,
+// the grain policy deliberately matches MulVecTPar's — nnz alone, not
+// nnz·g — so the two kernels always agree on whether to partition.
+func (m *CSR) MulBlockTPar(dst, src *Block, workers int) {
+	if dst.n != m.n || src.n != m.n || dst.g != src.g {
+		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller
+		panic("sparse: MulBlockTPar dimension mismatch")
+	}
+	w := resolveWorkers(workers, m.NNZ(), m.n)
+	if w == 1 {
+		m.MulBlockT(dst, src)
+		return
+	}
+	g := src.g
+	cuts := m.rowCuts(w)
+	nParts := len(cuts) - 1
+	bufs := make([][]float64, nParts)
+	scatter := make([]func(), 0, nParts)
+	for c := 0; c < nParts; c++ {
+		c := c
+		lo, hi := cuts[c], cuts[c+1]
+		scatter = append(scatter, func() {
+			buf := scatters.get(m.n * g)
+			mulBlockTRange(m, buf, src.data, g, lo, hi)
+			bufs[c] = buf
+		})
+	}
+	parallel.Do(scatter...)
+	parallel.For(w, m.n*g, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			var s float64
+			for _, buf := range bufs {
+				s += buf[e]
+			}
+			dst.data[e] = s
+		}
+	})
+	for _, buf := range bufs {
+		scatters.put(buf)
+	}
+}
+
+// resolveWorkers applies the shared fan-out policy of the parallel
+// kernels: work is the stored-entry count scaled by the number of columns
+// advanced per pass, and anything under parGrain (or a degenerate matrix)
+// runs sequentially.
+func resolveWorkers(workers, work, n int) int {
+	w := parallel.Resolve(workers)
+	if w == 1 || work < parGrain || n < 2 {
+		return 1
+	}
+	return w
+}

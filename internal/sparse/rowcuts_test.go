@@ -1,0 +1,123 @@
+package sparse
+
+import "testing"
+
+// checkRowCuts asserts the rowCuts contract on one matrix/worker pair:
+// boundaries are strictly monotone, cover [0, n], and balance the stored
+// entries to within one row — no chunk may exceed ⌈NNZ/w⌉ by more than the
+// fattest single row, since rows are indivisible.
+func checkRowCuts(t *testing.T, m *CSR, w int) {
+	t.Helper()
+	cuts := m.rowCuts(w)
+	n, nnz := m.Dim(), m.NNZ()
+	if cuts[0] != 0 || cuts[len(cuts)-1] != n {
+		t.Fatalf("w=%d: cuts %v do not span [0,%d]", w, cuts, n)
+	}
+	if len(cuts)-1 > w {
+		t.Fatalf("w=%d: %d chunks exceed the worker count", w, len(cuts)-1)
+	}
+	maxRow := 0
+	for i := 0; i < n; i++ {
+		if r := m.rowPtr[i+1] - m.rowPtr[i]; r > maxRow {
+			maxRow = r
+		}
+	}
+	// rowCuts clamps the worker count to n, so balance is judged against
+	// the effective chunk count.
+	we := w
+	if we > n {
+		we = n
+	}
+	ideal := (nnz + we - 1) / we
+	total := 0
+	for c := 1; c < len(cuts); c++ {
+		if cuts[c] <= cuts[c-1] {
+			t.Fatalf("w=%d: cuts %v not strictly increasing at %d", w, cuts, c)
+		}
+		chunk := m.rowPtr[cuts[c]] - m.rowPtr[cuts[c-1]]
+		total += chunk
+		if chunk > ideal+maxRow {
+			t.Fatalf("w=%d: chunk [%d,%d) holds %d entries, ideal %d + fattest row %d",
+				w, cuts[c-1], cuts[c], chunk, ideal, maxRow)
+		}
+	}
+	if total != nnz {
+		t.Fatalf("w=%d: chunks cover %d entries, matrix has %d", w, total, nnz)
+	}
+}
+
+func TestRowCutsFatRow(t *testing.T) {
+	// One row holds far more than NNZ/w entries; it must land alone in a
+	// chunk without breaking coverage or monotonicity.
+	const n = 40
+	var ts []Triplet
+	for j := 0; j < n; j++ {
+		ts = append(ts, Triplet{Row: 17, Col: j, Val: 1})
+	}
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triplet{Row: i, Col: i, Val: 1})
+	}
+	m := mustCSR(t, n, ts)
+	for _, w := range []int{1, 2, 3, 4, 8, 40, 100} {
+		checkRowCuts(t, m, w)
+	}
+}
+
+func TestRowCutsEmptyEdgeRows(t *testing.T) {
+	// Leading and trailing all-empty rows exercise the SearchInts clamp:
+	// rowPtr has long runs of equal values at both ends.
+	const n = 30
+	var ts []Triplet
+	for i := 10; i < 20; i++ {
+		for j := 0; j < 5; j++ {
+			ts = append(ts, Triplet{Row: i, Col: (i + j) % n, Val: 1})
+		}
+	}
+	m := mustCSR(t, n, ts)
+	for _, w := range []int{1, 2, 3, 7, 30, 64} {
+		checkRowCuts(t, m, w)
+	}
+}
+
+func TestRowCutsMoreWorkersThanRows(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		var ts []Triplet
+		for i := 0; i < n; i++ {
+			ts = append(ts, Triplet{Row: i, Col: i, Val: 1})
+		}
+		m := mustCSR(t, n, ts)
+		for _, w := range []int{n + 1, 2 * n, 100} {
+			checkRowCuts(t, m, w)
+		}
+	}
+}
+
+func TestRowCutsEmptyMatrix(t *testing.T) {
+	// A matrix with no stored entries at all must still yield the trivial
+	// cover [0, n].
+	m := mustCSR(t, 8, nil)
+	for _, w := range []int{1, 2, 8, 20} {
+		cuts := m.rowCuts(w)
+		if cuts[0] != 0 || cuts[len(cuts)-1] != 8 {
+			t.Fatalf("w=%d: cuts %v do not span [0,8]", w, cuts)
+		}
+		for c := 1; c < len(cuts); c++ {
+			if cuts[c] <= cuts[c-1] {
+				t.Fatalf("w=%d: cuts %v not strictly increasing", w, cuts)
+			}
+		}
+	}
+}
+
+func TestRowCutsRandomProperty(t *testing.T) {
+	// Random CSRs across a seed grid; every matrix includes the dense row 0
+	// skew from randomCSR plus whatever empty rows the sampler produces.
+	for seed := uint64(1); seed <= 25; seed++ {
+		n := 1 + int(seed*7)%97
+		perRow := 1 + int(seed)%9
+		m := randomCSR(t, n, perRow, seed)
+		for _, w := range []int{1, 2, 3, 4, 8, 16, n, n + 3, 4 * n} {
+			checkRowCuts(t, m, w)
+		}
+	}
+}

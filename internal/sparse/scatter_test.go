@@ -1,0 +1,70 @@
+package sparse
+
+import "testing"
+
+func TestScatterCacheBucketsByCapacity(t *testing.T) {
+	scatters.reset()
+	defer scatters.reset()
+	// Simulate a large-model kernel: get and put a big scatter buffer.
+	big := scatters.get(100000)
+	if cap(big) != 1<<17 {
+		t.Fatalf("big buffer capacity %d, want class size %d", cap(big), 1<<17)
+	}
+	scatters.put(big)
+	// A small-model request afterwards must NOT be served the big buffer —
+	// that was the leak: sync.Pool handed out whatever fit, so small checks
+	// kept O(workers·n_max) memory alive forever.
+	small := scatters.get(100)
+	if cap(small) != 1<<7 {
+		t.Fatalf("small request got capacity %d, want class size %d", cap(small), 1<<7)
+	}
+	if got := scatters.classLen(17); got != 1 {
+		t.Fatalf("big class holds %d buffers, want 1 (untouched by small get)", got)
+	}
+}
+
+func TestScatterCachePutDropsForeignCapacities(t *testing.T) {
+	scatters.reset()
+	defer scatters.reset()
+	// Non-power-of-two capacity: would under-fill whatever class its
+	// rounded size suggests, so it must be dropped.
+	scatters.put(make([]float64, 100, 100))
+	for cls := 0; cls <= 20; cls++ {
+		if got := scatters.classLen(cls); got != 0 {
+			t.Fatalf("foreign-capacity buffer filed under class %d", cls)
+		}
+	}
+	// Zero-capacity and nil are no-ops.
+	scatters.put(nil)
+	scatters.put([]float64{})
+}
+
+func TestScatterCacheBoundedPerClass(t *testing.T) {
+	scatters.reset()
+	defer scatters.reset()
+	for i := 0; i < 3*scatterCapPerClass; i++ {
+		scatters.put(make([]float64, 64, 64))
+	}
+	if got := scatters.classLen(6); got != scatterCapPerClass {
+		t.Fatalf("class retains %d buffers, want cap %d", got, scatterCapPerClass)
+	}
+}
+
+func TestScatterCacheReusesWithinClass(t *testing.T) {
+	scatters.reset()
+	defer scatters.reset()
+	buf := scatters.get(1000)
+	buf[0] = 42 // mark it
+	scatters.put(buf)
+	// A same-class request of a different length reuses the slab, resliced.
+	again := scatters.get(700)
+	if len(again) != 700 || cap(again) != 1<<10 {
+		t.Fatalf("reuse: len=%d cap=%d, want len=700 cap=%d", len(again), cap(again), 1<<10)
+	}
+	if again[0] != 42 {
+		t.Fatalf("expected the same slab back within the class")
+	}
+	if got := scatters.classLen(10); got != 0 {
+		t.Fatalf("class still holds %d buffers after get", got)
+	}
+}

@@ -1,0 +1,180 @@
+package transient
+
+import (
+	"fmt"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// sweepMulti evaluates the uniformisation series of sweep for g initial
+// vectors at once, advancing all of them through each matrix pass as one
+// n×g block — one read of the matrix per step instead of g. Column j of
+// the outcome is bitwise equal to the single-vector sweep on vs[j]: the
+// block kernels preserve the per-column arithmetic order exactly
+// (MulBlockPar against MulVec for backward sweeps, MulBlockTPar against
+// MulVecTPar at the same workers value for forward ones), the accumulator
+// updates visit rows in the same ascending order as AXPY, and steady-state
+// detection runs per column with the identical ColMaxDiff/δ test — a
+// column that converges is charged its Poisson tail exactly as the vector
+// path would and is then compacted out of the block, which cannot disturb
+// the surviving columns because every block element accumulates only its
+// own column's products.
+//
+// The returned accumulators are pool-born; ownership transfers to the
+// caller. The products count is the number of block matrix passes — the
+// matrix-traffic metric the multi-vector refactor reduces (the vector path
+// would report g× as many).
+func sweepMulti(p *sparse.CSR, vs [][]float64, w *numeric.PoissonWeights, q float64, opts Options, forward bool) ([][]float64, int) {
+	n := p.Dim()
+	g := len(vs)
+	pool := opts.Pool
+	cur := sparse.NewBlock(n, g, pool)
+	for j, v := range vs {
+		cur.SetCol(j, v)
+	}
+	next := sparse.NewBlock(n, g, pool)
+	accs := make([][]float64, g)
+	for j := range accs {
+		accs[j] = pool.Get(n)
+	}
+	// active[c] is the original vector index held by block column c;
+	// steady-state compaction shrinks it in step with the blocks.
+	active := make([]int, g)
+	for j := range active {
+		active[j] = j
+	}
+	detect := opts.SteadyDetect.enabled()
+	_, steadyEps := opts.budgetSplit()
+	delta := steadyEps / q
+	products := 0
+	for step := 0; step <= w.Right && len(active) > 0; step++ {
+		if step >= w.Left {
+			for c, j := range active {
+				cur.ColAXPY(w.Weight(step), c, accs[j])
+			}
+		}
+		if step == w.Right {
+			break
+		}
+		if forward {
+			p.MulBlockTPar(next, cur, opts.Workers) // row vectors: next = cur·P
+		} else {
+			p.MulBlockPar(next, cur, opts.Workers) // column vectors: next = P·cur
+		}
+		products++
+		if detect {
+			// tail and kSum depend only on the step, so one computation
+			// serves every column that converges at it.
+			tailDone := false
+			var tail, kSum float64
+			for c := len(active) - 1; c >= 0; c-- {
+				diff := next.ColMaxDiff(cur, c)
+				if diff >= delta {
+					continue
+				}
+				if !tailDone {
+					for k := step + 1; k <= w.Right; k++ {
+						tail += w.Weight(k)
+						kSum += float64(k-step) * w.Weight(k)
+					}
+					tailDone = true
+				}
+				j := active[c]
+				next.ColAXPY(tail, c, accs[j])
+				if opts.Obs != nil {
+					opts.Obs.Counter("steady.detections").Inc()
+					opts.Obs.Charge("steady", "tail-charge", diff*kSum)
+				}
+				// Compact the frozen column out of both blocks; descending
+				// c keeps the remaining indices valid.
+				cur.DropCol(c)
+				next.DropCol(c)
+				active = append(active[:c], active[c+1:]...)
+			}
+		}
+		cur, next = next, cur
+	}
+	cur.Release(pool)
+	next.Release(pool)
+	if opts.Obs != nil {
+		opts.Obs.Counter("sweep.products").Add(int64(products))
+	}
+	return accs, products
+}
+
+// BackwardWeightedMulti is BackwardWeighted for several terminal weight
+// vectors over the same model and time bound: one block sweep advances all
+// of them through each matrix pass. result[j] is bitwise equal to
+// BackwardWeighted(m, vs[j], t, opts) at the same Workers value. When
+// opts.Pool is set the returned slices are pool-born; ownership transfers
+// to the caller.
+func BackwardWeightedMulti(m *mrm.MRM, vs [][]float64, t float64, opts Options) ([][]float64, error) {
+	return multi(m, vs, t, opts, false)
+}
+
+// DistributionFromMulti is DistributionFrom for several initial
+// distributions over the same model and time bound, advanced together as
+// one block per forward pass. result[j] is bitwise equal to
+// DistributionFrom(m, inits[j], t, opts) at the same Workers value.
+func DistributionFromMulti(m *mrm.MRM, inits [][]float64, t float64, opts Options) ([][]float64, error) {
+	return multi(m, inits, t, opts, true)
+}
+
+// multi is the shared body of the two public multi-vector sweeps.
+func multi(m *mrm.MRM, vs [][]float64, t float64, opts Options, forward bool) ([][]float64, error) {
+	opts = opts.normalise()
+	for j, v := range vs {
+		if len(v) != m.N() {
+			return nil, fmt.Errorf("transient: vector %d length %d for %d states", j, len(v), m.N())
+		}
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("transient: negative time bound %v", t)
+	}
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	if len(vs) == 1 {
+		// A single vector gains nothing from the block layout; keep it on
+		// the (bitwise identical) vector path.
+		var out []float64
+		var err error
+		if forward {
+			out, err = DistributionFrom(m, vs[0], t, opts)
+		} else {
+			out, err = BackwardWeighted(m, vs[0], t, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return [][]float64{out}, nil
+	}
+	if t == 0 {
+		out := make([][]float64, len(vs))
+		for j, v := range vs {
+			out[j] = sparse.Clone(v)
+		}
+		return out, nil
+	}
+	lambda := opts.Lambda
+	if lambda == 0 {
+		lambda = m.UniformisationRate()
+	}
+	span := opts.Obs.StartSpan("transient.uniformise")
+	p, err := opts.uniformised(m, lambda)
+	if err != nil {
+		return nil, fmt.Errorf("transient: %w", err)
+	}
+	fgEps, _ := opts.budgetSplit()
+	w, err := opts.poissonWeights(lambda*t, fgEps)
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("transient: %w", err)
+	}
+	span = opts.Obs.StartSpan("transient.sweep")
+	accs, _ := sweepMulti(p, vs, w, lambda*t, opts, forward)
+	span.End()
+	return accs, nil
+}
