@@ -15,8 +15,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The incremental cache keeps warm runs fast (per-package results keyed
+# by source content + dependency keys + the analyzer registry hash, under
+# .mrmlint-cache/); CI persists the directory via actions/cache.
 lint:
-	$(GO) run ./cmd/mrmlint ./...
+	$(GO) run ./cmd/mrmlint -cache ./...
 
 lint-github:
 	$(GO) run ./cmd/mrmlint -github ./...
@@ -37,13 +40,18 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	$(GO) run ./cmd/perfbench -compare
 	$(GO) run ./cmd/perfbench -json BENCH_PR7.json -workers-sweep
+	$(GO) run ./cmd/mrmlint -bench-json BENCH_PR8.json ./...
 
 # Compare a fresh benchmark run against the committed performance trail;
 # exits non-zero on >20% time or >10% allocation regressions, and refuses
 # outright when the baseline was recorded on a different CPU count
 # (baselines are per machine class — regenerate with bench-smoke).
+# The lint leg re-times cold vs warm into a scratch file (the committed
+# BENCH_PR8.json is the recorded trail) and fails when the warm cached
+# run is not at least twice as fast as cold or replay diverges.
 bench-check:
 	$(GO) run ./cmd/perfbench -baseline BENCH_PR7.json -workers-sweep
+	$(GO) run ./cmd/mrmlint -bench-json /tmp/mrmlint-bench-check.json ./...
 
 fmt:
 	gofmt -l -w .

@@ -42,9 +42,12 @@ func run(stdout, stderr io.Writer, args []string) int {
 		disable  = fs.String("disable", "", "comma-separated analyzers to skip")
 		jsonMode = fs.Bool("json", false, "emit one JSON object per finding (module-relative paths)")
 		ghMode   = fs.Bool("github", false, "emit GitHub Actions ::error annotations")
+		useCache = fs.Bool("cache", false, "reuse per-package results from the incremental cache")
+		cacheDir = fs.String("cache-dir", ".mrmlint-cache", "cache directory (relative paths resolve against the module root)")
+		benchOut = fs.String("bench-json", "", "time a cold vs warm cached run, write the report to this file and gate on warm < 50% of cold")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: mrmlint [-list] [-enable=a,b] [-disable=a,b] [-json|-github] [packages]")
+		fmt.Fprintln(stderr, "usage: mrmlint [-list] [-enable=a,b] [-disable=a,b] [-json|-github] [-cache [-cache-dir=d]] [-bench-json=f] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +77,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintln(stderr, "mrmlint:", err)
 		return 2
 	}
+	if *benchOut != "" {
+		return runLintBench(stderr, *benchOut, cwd, patterns, analyzers)
+	}
 	mode := emitPlain
 	switch {
 	case *jsonMode:
@@ -81,10 +87,17 @@ func run(stdout, stderr io.Writer, args []string) int {
 	case *ghMode:
 		mode = emitGitHub
 	}
-	n, err := lintPackages(stdout, cwd, patterns, analyzers, mode)
+	cacheOpt := ""
+	if *useCache {
+		cacheOpt = *cacheDir
+	}
+	n, cache, err := lintPackagesCached(stdout, cwd, patterns, analyzers, mode, cacheOpt)
 	if err != nil {
 		fmt.Fprintln(stderr, "mrmlint:", err)
 		return 2
+	}
+	if cache != nil {
+		fmt.Fprintln(stderr, cache.stats(*jsonMode))
 	}
 	if n > 0 {
 		fmt.Fprintf(stderr, "mrmlint: %d finding(s)\n", n)
@@ -189,34 +202,68 @@ func ghEscapeProperty(s string) string {
 // lintPackages loads every package matched by patterns (relative to dir)
 // and returns the number of findings printed.
 func lintPackages(stdout io.Writer, dir string, patterns []string, analyzers []*lint.Analyzer, emit emitMode) (int, error) {
+	n, _, err := lintPackagesCached(stdout, dir, patterns, analyzers, emit, "")
+	return n, err
+}
+
+// lintPackagesCached is lintPackages with an optional incremental cache:
+// a non-empty cacheDir serves unchanged packages from the store instead
+// of re-analyzing them, and records the analyzed ones. The diagnostic
+// stream on stdout is byte-identical between cold and warm runs; the
+// cold/warm statistics live on the returned cache.
+func lintPackagesCached(stdout io.Writer, dir string, patterns []string, analyzers []*lint.Analyzer, emit emitMode, cacheDir string) (int, *lintCache, error) {
 	loader, err := lint.NewLoader(dir)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	dirs, err := loader.Expand(dir, patterns)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if len(dirs) == 0 {
-		return 0, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+		return 0, nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	var cache *lintCache
+	if cacheDir != "" {
+		cache, err = newLintCache(cacheDir, loader.ModuleDir, loader.ModulePath, loader.GoVersion, analyzers)
+		if err != nil {
+			return 0, nil, err
+		}
 	}
 	runner := lint.NewRunner(analyzers)
 	total := 0
 	for _, d := range dirs {
+		var diags []lint.Diagnostic
+		if cache != nil {
+			if cached, ok := cache.get(d); ok {
+				cache.Warm++
+				for _, diag := range cached {
+					emit(stdout, loader.ModuleDir, diag)
+				}
+				total += len(cached)
+				continue
+			}
+		}
 		pkg, err := loader.LoadDir(d)
 		if err != nil {
-			return 0, err
+			return 0, cache, err
 		}
-		diags, err := runner.RunPackage(pkg)
+		diags, err = runner.RunPackage(pkg)
 		if err != nil {
-			return 0, err
+			return 0, cache, err
+		}
+		if cache != nil {
+			cache.Cold++
+			if err := cache.put(d, diags); err != nil {
+				return 0, cache, err
+			}
 		}
 		for _, diag := range diags {
 			emit(stdout, loader.ModuleDir, diag)
 		}
 		total += len(diags)
 	}
-	return total, nil
+	return total, cache, nil
 }
 
 // selectAnalyzers applies the -enable/-disable flags to the registry.

@@ -34,6 +34,8 @@ type Expansion struct {
 func (e *Expansion) StateIndex(s, i int) int { return s*e.K + i }
 
 // Expand builds the Erlang-k expansion of m for reward bound r.
+//
+//numerics:domain r=rate
 func Expand(m *mrm.MRM, r float64, k int) (*Expansion, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("erlang: phase count k=%d must be ≥ 1", k)
@@ -122,6 +124,8 @@ func DefaultOptions() Options {
 // The caller is expected to pass a model already reduced per Theorem 1
 // (goal states absorbing with reward zero), though the computation is
 // well-defined for any MRM.
+//
+//numerics:domain prob t=rate r=rate
 func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) ([]float64, error) {
 	if opts.K == 0 {
 		opts.K = DefaultOptions().K
@@ -155,6 +159,8 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) ([
 
 // ReachProb approximates the Theorem 2 quantity from the model's initial
 // distribution.
+//
+//numerics:domain prob t=rate r=rate
 func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (float64, error) {
 	per, err := ReachProbAll(m, goal, t, r, opts)
 	if err != nil {

@@ -5,6 +5,8 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Aliasret,
 		Bannedcall,
+		Detorder,
+		Domainflow,
 		Droppederr,
 		Epsbudget,
 		Expunderflow,
@@ -15,6 +17,7 @@ func All() []*Analyzer {
 		Maporder,
 		Mutexcopy,
 		Poolescape,
+		Probrange,
 	}
 }
 

@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file adds the interprocedural layer over the per-function
+// summaries: a module-aware call graph (static calls, method sets,
+// function values tracked through SSA) and the numeric-domain vocabulary
+// the domainflow analyzer propagates along it.
+
+// Domain classifies which numeric space a floating-point value lives in.
+// The analyzers care about one coarse split — log space versus linear
+// space — with three refinements of linear that carry extra obligations:
+// probabilities must stay in [0,1] (probrange), rates may mix into
+// log-space exponent arithmetic (−qt + n·log(qt) is a legal log-space
+// term even though q and t are linear rates), and ε fractions feed the
+// budget discipline.
+type Domain int8
+
+const (
+	// DomUnknown means the analysis could not commit to a space. Unknown
+	// never participates in findings: mixing with it is silent.
+	DomUnknown Domain = iota
+	// DomLinear is a plain linear-space quantity.
+	DomLinear
+	// DomProb is a linear-space probability mass, contractually in [0,1].
+	DomProb
+	// DomRate is a linear-space rate or time quantity; legal inside
+	// log-space exponent arithmetic.
+	DomRate
+	// DomEpsFrac is a linear-space fraction of an accuracy budget ε.
+	DomEpsFrac
+	// DomLog is a log-space quantity (the logarithm of some mass).
+	DomLog
+)
+
+var domainNames = map[Domain]string{
+	DomUnknown: "unknown",
+	DomLinear:  "linear",
+	DomProb:    "prob",
+	DomRate:    "rate",
+	DomEpsFrac: "epsfrac",
+	DomLog:     "log",
+}
+
+func (d Domain) String() string { return domainNames[d] }
+
+// LinearFamily reports whether d is a linear-space domain (prob, rate and
+// epsfrac are refinements of linear).
+func (d Domain) LinearFamily() bool {
+	switch d {
+	case DomLinear, DomProb, DomRate, DomEpsFrac:
+		return true
+	}
+	return false
+}
+
+// ParseDomain resolves a //numerics:domain token.
+func ParseDomain(tok string) (Domain, bool) {
+	switch tok {
+	case "log":
+		return DomLog, true
+	case "linear":
+		return DomLinear, true
+	case "prob":
+		return DomProb, true
+	case "rate":
+		return DomRate, true
+	case "epsfrac":
+		return DomEpsFrac, true
+	}
+	return DomUnknown, false
+}
+
+// domainPrefix is the annotation that declares the numeric space of a
+// function's values:
+//
+//	//numerics:domain <dom>          // the float (or float-slice) results
+//	//numerics:domain <name>=<dom>   // the parameter called <name> (receiver included)
+//
+// with <dom> one of log, linear, prob, rate, epsfrac. Tokens combine on
+// one line: //numerics:domain prob p=prob eps=epsfrac. The summary engine
+// propagates result domains bottom-up through unannotated helpers, so
+// only entry points and ground-truth kernels need the annotation.
+const domainPrefix = "//numerics:domain"
+
+// parseDomains extracts //numerics:domain tokens from a doc comment.
+// params lists the function's parameters, receiver first; name=dom tokens
+// are resolved against it. Unknown domain names and unknown parameter
+// names are reported as BadTerms.
+func parseDomains(doc *ast.CommentGroup, params []*types.Var) (paramDoms map[int]Domain, result Domain, bad []BadTerm, annotated bool) {
+	if doc == nil {
+		return nil, DomUnknown, nil, false
+	}
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, domainPrefix) {
+			continue
+		}
+		annotated = true
+		rest := strings.TrimSpace(strings.TrimPrefix(c.Text, domainPrefix))
+		if i := strings.Index(rest, "//"); i >= 0 {
+			rest = strings.TrimSpace(rest[:i])
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			bad = append(bad, BadTerm{Pos: c.Pos(), Term: "", Reason: "missing domain (want log, linear, prob, rate or epsfrac)"})
+			continue
+		}
+		for _, f := range fields {
+			name, domTok, isParam := strings.Cut(f, "=")
+			if !isParam {
+				domTok = f
+			}
+			dom, ok := ParseDomain(domTok)
+			if !ok {
+				bad = append(bad, BadTerm{Pos: c.Pos(), Term: f, Reason: "unknown domain " + domTok + " (want log, linear, prob, rate or epsfrac)"})
+				continue
+			}
+			if !isParam {
+				result = dom
+				continue
+			}
+			idx := -1
+			for i, p := range params {
+				if p.Name() == name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				bad = append(bad, BadTerm{Pos: c.Pos(), Term: f, Reason: "no parameter named " + name})
+				continue
+			}
+			if paramDoms == nil {
+				paramDoms = make(map[int]Domain)
+			}
+			paramDoms[idx] = dom
+		}
+	}
+	return paramDoms, result, bad, annotated
+}
+
+// CallSite is one resolved call expression inside a function.
+type CallSite struct {
+	Call *ast.CallExpr
+	// Callees lists the possible targets: the static callee for direct
+	// calls, the SSA-tracked assignments for calls through local function
+	// values, and — when the static callee is an interface method — the
+	// concrete implementations visible to the package. Empty when nothing
+	// resolves (a call through a parameter, field or channel-delivered
+	// function value).
+	Callees []*types.Func
+	// InFuncLit marks sites inside function literals of the enclosing
+	// declaration. The literal's calls belong to the declaration for
+	// reachability purposes (the closure runs on the declaration's behalf)
+	// but run under a different frame.
+	InFuncLit bool
+}
+
+// CGNode is the call-graph node of one declared function.
+type CGNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Sites lists the node's call expressions in source order.
+	Sites []CallSite
+	// CalledBy lists the same-package functions with an edge to this node.
+	CalledBy []*types.Func
+
+	callees map[*types.Func]bool
+}
+
+// Calls reports whether the node has a resolved edge to fn.
+func (n *CGNode) Calls(fn *types.Func) bool { return n != nil && n.callees[fn] }
+
+// CallsNamed returns the first site with a resolved callee of the given
+// name (any package), or nil. The detorder analyzer uses it to verify
+// fanout=<helper> claims of //numerics:order-invariant annotations.
+func (n *CGNode) CallsNamed(name string) *CallSite {
+	if n == nil {
+		return nil
+	}
+	for i := range n.Sites {
+		for _, fn := range n.Sites[i].Callees {
+			if fn.Name() == name {
+				return &n.Sites[i]
+			}
+		}
+	}
+	return nil
+}
+
+// CallGraph is the package's call graph: one node per function
+// declaration, with call edges resolved statically, through the package's
+// method sets, and through SSA-tracked function values.
+type CallGraph struct {
+	pkg   *Package
+	Nodes map[*types.Func]*CGNode
+
+	namedTypes []types.Type // candidate receiver types for method-set expansion
+	implCache  map[*types.Func][]*types.Func
+}
+
+// CallGraph returns the package's call graph, building it on first use.
+func (p *Package) CallGraph() *CallGraph {
+	if p.cg != nil {
+		return p.cg
+	}
+	g := &CallGraph{
+		pkg:       p,
+		Nodes:     make(map[*types.Func]*CGNode),
+		implCache: make(map[*types.Func][]*types.Func),
+	}
+	g.collectNamedTypes()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CGNode{Fn: fn, Decl: fd, callees: make(map[*types.Func]bool)}
+			g.Nodes[fn] = node
+			g.walkBody(node, fd.Body, signatureParams(fn), false)
+		}
+	}
+	for fn, node := range g.Nodes {
+		for callee := range node.callees {
+			if target, ok := g.Nodes[callee]; ok {
+				target.CalledBy = append(target.CalledBy, fn)
+			}
+		}
+	}
+	for _, node := range g.Nodes {
+		sort.Slice(node.CalledBy, func(i, j int) bool {
+			return node.CalledBy[i].Pos() < node.CalledBy[j].Pos()
+		})
+	}
+	p.cg = g
+	return g
+}
+
+// Node returns the graph node of fn, or nil for functions declared
+// elsewhere (other packages, interface methods without bodies).
+func (g *CallGraph) Node(fn *types.Func) *CGNode { return g.Nodes[fn] }
+
+// walkBody records the call sites of one body, recursing into function
+// literals with their own SSA frames.
+func (g *CallGraph) walkBody(node *CGNode, body *ast.BlockStmt, params []*types.Var, inLit bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			g.walkBody(node, x.Body, funcLitParams(g.pkg.Info, x.Type), true)
+			return false
+		case *ast.CallExpr:
+			site := CallSite{Call: x, InFuncLit: inLit}
+			site.Callees = g.resolveCall(x, body, params)
+			node.Sites = append(node.Sites, site)
+			for _, fn := range site.Callees {
+				node.callees[fn] = true
+			}
+		}
+		return true
+	})
+}
+
+// resolveCall resolves a call's possible targets: the static callee
+// (expanded through the package's method sets when it is an interface
+// method), or — for calls through a local function value — the function
+// expressions SSA says may have been assigned to it.
+func (g *CallGraph) resolveCall(call *ast.CallExpr, body *ast.BlockStmt, params []*types.Var) []*types.Func {
+	if fn := calleeFunc(g.pkg.Info, call); fn != nil {
+		if impls := g.implementers(fn); len(impls) > 0 {
+			return append([]*types.Func{fn}, impls...)
+		}
+		return []*types.Func{fn}
+	}
+	// A call through a function value: track the value's definitions
+	// through the enclosing frame's SSA.
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, isVar := g.pkg.Info.Uses[id].(*types.Var); !isVar {
+		return nil
+	}
+	ssa := g.pkg.SSA(body, params)
+	val, ok := ssa.UseVal[id]
+	if !ok {
+		return nil // a captured variable: its versions live in another frame
+	}
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	for _, c := range val.ConcreteValues() {
+		if c.Rhs == nil {
+			continue
+		}
+		if fn := funcValueTarget(g.pkg.Info, c.Rhs); fn != nil && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// funcValueTarget resolves a function-typed expression to the declared
+// function or method it denotes (f, pkg.F, recv.M as a method value), or
+// nil for literals and further indirection.
+func funcValueTarget(info *types.Info, e ast.Expr) *types.Func {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[x].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[x.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// collectNamedTypes gathers the named (and pointer-to-named) types
+// declared by the package and its direct imports, the candidate dynamic
+// types for interface-method expansion.
+func (g *CallGraph) collectNamedTypes() {
+	add := func(scope *types.Scope) {
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			g.namedTypes = append(g.namedTypes, named, types.NewPointer(named))
+		}
+	}
+	add(g.pkg.Types.Scope())
+	for _, imp := range g.pkg.Types.Imports() {
+		add(imp.Scope())
+	}
+}
+
+// implementers returns the concrete methods implementing m across the
+// package's visible named types, when m is an interface method.
+func (g *CallGraph) implementers(m *types.Func) []*types.Func {
+	if impls, ok := g.implCache[m]; ok {
+		return impls
+	}
+	var out []*types.Func
+	sig, _ := m.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			for _, t := range g.namedTypes {
+				if !types.Implements(t, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(t, true, m.Pkg(), m.Name())
+				if fn, ok := obj.(*types.Func); ok && fn != m {
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	g.implCache[m] = out
+	return out
+}
+
+// BottomUp visits the package's nodes in bottom-up call order — callees
+// before callers, strongly connected components (recursion cycles)
+// visited as arbitrary-order groups — so summary computation can warm the
+// cache without re-entering the busy guard. Ordering uses Tarjan's SCC
+// algorithm over the same-package edges.
+func (g *CallGraph) BottomUp(visit func(*CGNode)) {
+	// Deterministic node order: by source position.
+	fns := make([]*types.Func, 0, len(g.Nodes))
+	for fn := range g.Nodes {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+
+	index := make(map[*types.Func]int)
+	low := make(map[*types.Func]int)
+	onStack := make(map[*types.Func]bool)
+	var stack []*types.Func
+	next := 0
+	var strongconnect func(fn *types.Func)
+	strongconnect = func(fn *types.Func) {
+		index[fn] = next
+		low[fn] = next
+		next++
+		stack = append(stack, fn)
+		onStack[fn] = true
+		node := g.Nodes[fn]
+		// Deterministic edge order.
+		var callees []*types.Func
+		for c := range node.callees {
+			if _, ok := g.Nodes[c]; ok {
+				callees = append(callees, c)
+			}
+		}
+		sort.Slice(callees, func(i, j int) bool { return callees[i].Pos() < callees[j].Pos() })
+		for _, c := range callees {
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[fn] {
+					low[fn] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[fn] {
+				low[fn] = index[c]
+			}
+		}
+		if low[fn] == index[fn] {
+			// fn roots an SCC: pop it and visit its members (callees of the
+			// component are already visited — Tarjan emits SCCs in reverse
+			// topological order of the condensation).
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				visit(g.Nodes[top])
+				if top == fn {
+					break
+				}
+			}
+		}
+	}
+	for _, fn := range fns {
+		if _, seen := index[fn]; !seen {
+			strongconnect(fn)
+		}
+	}
+}

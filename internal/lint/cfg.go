@@ -42,6 +42,15 @@ type CFGBlock struct {
 	// Range, when set, is the range statement whose per-iteration
 	// key/value assignment this loop-head block performs.
 	Range *ast.RangeStmt
+	// Cond, when set, is the boolean expression this block branches on
+	// (the condition of an if statement or of a for loop). TrueSucc and
+	// FalseSucc are the successors taken when it evaluates true and false
+	// respectively; both are also present in Succs. Analyzers use the
+	// labels to refine facts along conditional edges (e.g. the probrange
+	// interval analysis learns s <= 1 on the false edge of `if s > 1`).
+	Cond      ast.Expr
+	TrueSucc  *CFGBlock
+	FalseSucc *CFGBlock
 }
 
 // BuildCFG constructs the CFG of a function body. A nil body (a function
@@ -206,17 +215,20 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 		after := b.newBlock()
 		then := b.newBlock()
 		addEdge(condBlk, then)
+		condBlk.Cond, condBlk.TrueSucc = s.Cond, then
 		b.cur = then
 		b.stmtList(s.Body.List)
 		b.jump(after)
 		if s.Else != nil {
 			els := b.newBlock()
 			addEdge(condBlk, els)
+			condBlk.FalseSucc = els
 			b.cur = els
 			b.stmt(s.Else, "")
 			b.jump(after)
 		} else {
 			addEdge(condBlk, after)
+			condBlk.FalseSucc = after
 		}
 		if len(after.Preds) > 0 {
 			b.cur = after
@@ -243,6 +255,9 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 		}
 		body := b.newBlock()
 		addEdge(head, body)
+		if s.Cond != nil {
+			head.Cond, head.TrueSucc, head.FalseSucc = s.Cond, body, after
+		}
 		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: post})
 		b.cur = body
 		b.stmtList(s.Body.List)

@@ -15,11 +15,19 @@ import (
 //     `if x == 0 { continue }` on values that were assigned exactly);
 //   - the NaN self-test `x != x`;
 //   - comparisons inside tolerance helpers themselves (ApproxEqual and
-//     friends), which need exact semantics for infinities.
+//     friends), which need exact semantics for infinities — whether the
+//     helper is a declared function, a function literal bound to an
+//     approved name (cmp := numeric.ApproxEqual-style local aliases), or
+//     a bool-returning wrapper that delegates its finite cases to an
+//     approved helper.
 var Floatcmp = &Analyzer{
 	Name: "floatcmp",
 	Doc:  "flags ==/!= between floating-point operands; use numeric.ApproxEqual or an explicit tolerance",
-	Run:  runFloatcmp,
+	// Version 2: the tolerance-helper exemption follows local aliases
+	// (function literals bound to approved names) and wrappers that
+	// delegate to an approved helper.
+	Version: 2,
+	Run:     runFloatcmp,
 }
 
 // approvedCmpFuncs are tolerance helpers allowed to compare floats exactly
@@ -45,11 +53,108 @@ func runFloatcmp(pass *Pass) error {
 		if types.ExprString(unparen(be.X)) == types.ExprString(unparen(be.Y)) {
 			return // NaN self-test x != x
 		}
-		if approvedCmpFuncs[enclosingFuncName(stack)] {
+		name, fnType, body := enclosingCmpFunc(stack)
+		if approvedCmpFuncs[name] {
+			return
+		}
+		if body != nil && returnsBool(pass.Info, fnType) && delegatesToApproved(pass.Info, body) {
+			// A tolerance wrapper: it routes the finite cases through an
+			// approved helper and needs exact comparison for the
+			// infinity/NaN edges it handles itself.
 			return
 		}
 		pass.ReportRangef(be.OpPos, be.End(), "floating-point %s comparison on %s; use numeric.ApproxEqual or an explicit tolerance",
 			be.Op, types.ExprString(be.X))
 	})
 	return nil
+}
+
+// enclosingCmpFunc finds the innermost enclosing function on the stack —
+// declaration or literal — and resolves its name. A literal's name comes
+// from the binding that defines it (aeq := func(...), var aeq = func(...),
+// aeq = func(...)), so local aliases of the tolerance helpers carry the
+// same exemption as their declared namesakes.
+func enclosingCmpFunc(stack []ast.Node) (name string, fnType *ast.FuncType, body *ast.BlockStmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Name.Name, f.Type, f.Body
+		case *ast.FuncLit:
+			if i > 0 {
+				name = funcLitName(stack[i-1], f)
+			}
+			return name, f.Type, f.Body
+		}
+	}
+	return "", nil, nil
+}
+
+// funcLitName resolves the identifier a function literal is bound to in
+// its immediate parent node, or "".
+func funcLitName(parent ast.Node, lit *ast.FuncLit) string {
+	match := func(lhs, rhs ast.Expr) string {
+		if unparen(rhs) != ast.Expr(lit) {
+			return ""
+		}
+		if id, ok := unparen(lhs).(*ast.Ident); ok {
+			return id.Name
+		}
+		return ""
+	}
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		if len(p.Lhs) == len(p.Rhs) {
+			for i := range p.Rhs {
+				if n := match(p.Lhs[i], p.Rhs[i]); n != "" {
+					return n
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		if len(p.Names) == len(p.Values) {
+			for i := range p.Values {
+				if unparen(p.Values[i]) == ast.Expr(lit) {
+					return p.Names[i].Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// returnsBool reports whether the function type has a single bool result.
+func returnsBool(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Results == nil || len(ft.Results.List) != 1 {
+		return false
+	}
+	field := ft.Results.List[0]
+	if len(field.Names) > 1 {
+		return false
+	}
+	t := info.TypeOf(field.Type)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// delegatesToApproved reports whether the body calls one of the approved
+// tolerance helpers (numeric.ApproxEqual or a namesake).
+func delegatesToApproved(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil && approvedCmpFuncs[fn.Name()] {
+			found = true
+		}
+		return !found
+	})
+	return found
 }

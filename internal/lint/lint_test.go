@@ -146,6 +146,16 @@ func TestGoldenFiles(t *testing.T) {
 		{file: "ledgercharge/negative.go", pkgPath: fakePath, analyzer: "ledgercharge"},
 		{file: "poolescape/positive.go", pkgPath: fakePath, analyzer: "poolescape"},
 		{file: "poolescape/negative.go", pkgPath: fakePath, analyzer: "poolescape"},
+		{file: "floatcmp/wrappers.go", pkgPath: fakePath, analyzer: "floatcmp"},
+		{file: "domainflow/positive.go", pkgPath: fakePath, analyzer: "domainflow"},
+		{file: "domainflow/negative.go", pkgPath: fakePath, analyzer: "domainflow"},
+		{file: "domainflow/suppressed.go", pkgPath: fakePath, analyzer: "domainflow"},
+		{file: "probrange/positive.go", pkgPath: fakePath, analyzer: "probrange"},
+		{file: "probrange/negative.go", pkgPath: fakePath, analyzer: "probrange"},
+		{file: "probrange/suppressed.go", pkgPath: fakePath, analyzer: "probrange"},
+		{file: "detorder/positive.go", pkgPath: fakePath, analyzer: "detorder"},
+		{file: "detorder/negative.go", pkgPath: fakePath, analyzer: "detorder"},
+		{file: "detorder/suppressed.go", pkgPath: fakePath, analyzer: "detorder"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -35,6 +35,8 @@ type Package struct {
 	deps func(path string) *Package
 	sums *Summaries
 	cfgs map[*ast.BlockStmt]*CFG
+	ssas map[*ast.BlockStmt]*SSA
+	cg   *CallGraph
 }
 
 // Inspector returns the package's shared traversal, building it on first

@@ -1,0 +1,586 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+// Probrange proves that prob-annotated values stay in [0,1], by interval
+// analysis over SSA. The bug class is the PR 7 rectangle-residue escape:
+// a residual computed as 1−Σmass goes negative once the Σ accumulates
+// past 1 in floating point, and the negative "probability" silently
+// corrupts every downstream comparison. The analyzer evaluates an
+// interval per SSA value (loop φs widened after one descent), refines
+// intervals along labelled branch edges (`if s > 1 { s = 1 }` clamps) and
+// through math.Min/Max/Abs, and reports at the prob sinks — returns of
+// functions declaring //numerics:domain prob and arguments to parameters
+// declared prob — when the interval proves a possible escape.
+//
+// Fully unknown intervals are silent: a finding needs positive evidence
+// (a finite bound beyond the contract, or a one-sided unbounded interval
+// whose other side is known), never mere ignorance.
+var Probrange = &Analyzer{
+	Name: "probrange",
+	Doc:  "interval analysis proving //numerics:domain prob values stay in [0,1]",
+	Run:  runProbrange,
+}
+
+// probTol is the slack granted beyond [0,1] before an interval violation
+// is reported, covering deliberate epsilon headroom like 1+1e-12 guards.
+const probTol = 1e-9
+
+// Interval is a closed floating-point interval; infinities mean
+// unbounded. The empty interval (Lo > Hi) is the identity of hull.
+type Interval struct{ Lo, Hi float64 }
+
+var (
+	fullInterval  = Interval{math.Inf(-1), math.Inf(1)}
+	emptyInterval = Interval{math.Inf(1), math.Inf(-1)}
+)
+
+func (iv Interval) empty() bool { return iv.Lo > iv.Hi }
+
+// unknown reports a fully unbounded interval — no usable evidence.
+func (iv Interval) unknown() bool {
+	return math.IsInf(iv.Lo, -1) && math.IsInf(iv.Hi, 1)
+}
+
+func hull(a, b Interval) Interval {
+	return Interval{math.Min(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+func intersect(a, b Interval) Interval {
+	return Interval{math.Max(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)}
+}
+
+// widen keeps the bounds of prev that next did not grow past and drops
+// the growing sides to infinity — the one-shot loop widening.
+func widen(prev, next Interval) Interval {
+	out := prev
+	if next.Lo < prev.Lo {
+		out.Lo = math.Inf(-1)
+	}
+	if next.Hi > prev.Hi {
+		out.Hi = math.Inf(1)
+	}
+	return out
+}
+
+func addI(a, b Interval) Interval {
+	if a.empty() || b.empty() {
+		return emptyInterval
+	}
+	return Interval{safeAdd(a.Lo, b.Lo, -1), safeAdd(a.Hi, b.Hi, 1)}
+}
+
+func subI(a, b Interval) Interval {
+	if a.empty() || b.empty() {
+		return emptyInterval
+	}
+	return Interval{safeAdd(a.Lo, -b.Hi, -1), safeAdd(a.Hi, -b.Lo, 1)}
+}
+
+// safeAdd adds endpoints, resolving Inf−Inf to the unbounded side.
+func safeAdd(x, y float64, side int) float64 {
+	s := x + y
+	if math.IsNaN(s) {
+		return math.Inf(side)
+	}
+	return s
+}
+
+func mulI(a, b Interval) Interval {
+	if a.empty() || b.empty() {
+		return emptyInterval
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range [2]float64{a.Lo, a.Hi} {
+		for _, y := range [2]float64{b.Lo, b.Hi} {
+			p := x * y
+			if math.IsNaN(p) {
+				// 0·∞ corner: the product is unbounded toward the infinite
+				// factor's reachable signs; widen both ways for safety.
+				return fullInterval
+			}
+			lo, hi = math.Min(lo, p), math.Max(hi, p)
+		}
+	}
+	return Interval{lo, hi}
+}
+
+func quoI(a, b Interval) Interval {
+	if a.empty() || b.empty() {
+		return emptyInterval
+	}
+	// Only divisors bounded away from zero yield useful quotients.
+	if b.Lo > 0 || b.Hi < 0 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range [2]float64{a.Lo, a.Hi} {
+			for _, y := range [2]float64{b.Lo, b.Hi} {
+				q := x / y
+				if math.IsNaN(q) {
+					return fullInterval
+				}
+				lo, hi = math.Min(lo, q), math.Max(hi, q)
+			}
+		}
+		return Interval{lo, hi}
+	}
+	return fullInterval
+}
+
+// domainInterval is the contract interval of a declared domain.
+func domainInterval(d Domain) Interval {
+	switch d {
+	case DomProb, DomEpsFrac:
+		return Interval{0, 1}
+	case DomRate:
+		return Interval{0, math.Inf(1)}
+	}
+	return fullInterval
+}
+
+// intervalEval evaluates value intervals within one function frame.
+type intervalEval struct {
+	sums     *Summaries
+	pkg      *Package
+	ssa      *SSA
+	paramIvs map[*types.Var]Interval
+	memo     map[*SSAValue]Interval
+	busy     map[*SSAValue]bool
+}
+
+func newIntervalEval(sums *Summaries, pkg *Package, body *ast.BlockStmt, params []*types.Var, paramDoms map[int]Domain) *intervalEval {
+	ivs := make(map[*types.Var]Interval)
+	for i, d := range paramDoms {
+		if i < len(params) {
+			ivs[params[i]] = domainInterval(d)
+		}
+	}
+	return &intervalEval{
+		sums:     sums,
+		pkg:      pkg,
+		ssa:      pkg.SSA(body, params),
+		paramIvs: ivs,
+		memo:     make(map[*SSAValue]Interval),
+		busy:     make(map[*SSAValue]bool),
+	}
+}
+
+// of evaluates the interval of an expression.
+func (e *intervalEval) of(x ast.Expr) Interval {
+	x = unparen(x)
+	if tv, ok := e.pkg.Info.Types[x]; ok && tv.Value != nil {
+		if f, ok := constFloatValue(tv.Value); ok {
+			return Interval{f, f}
+		}
+		return fullInterval
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		if val, ok := e.ssa.UseVal[x]; ok {
+			return e.val(val)
+		}
+		if v, ok := e.pkg.Info.Uses[x].(*types.Var); ok {
+			if iv, ok := e.paramIvs[v]; ok {
+				return iv // captured parameter: its contract still binds
+			}
+		}
+		return fullInterval
+	case *ast.BinaryExpr:
+		a, b := e.of(x.X), e.of(x.Y)
+		switch x.Op {
+		case token.ADD:
+			return addI(a, b)
+		case token.SUB:
+			return subI(a, b)
+		case token.MUL:
+			return mulI(a, b)
+		case token.QUO:
+			return quoI(a, b)
+		}
+		return fullInterval
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			iv := e.of(x.X)
+			if iv.empty() {
+				return iv
+			}
+			return Interval{-iv.Hi, -iv.Lo}
+		}
+		if x.Op == token.ADD {
+			return e.of(x.X)
+		}
+		return fullInterval
+	case *ast.CallExpr:
+		return e.callInterval(x)
+	case *ast.IndexExpr:
+		// Elements of a prob slice inherit the slice's domain contract.
+		return e.of(x.X)
+	}
+	return fullInterval
+}
+
+// callInterval evaluates calls: the clamping transcendentals precisely,
+// everything else by the callee's declared result domain.
+func (e *intervalEval) callInterval(call *ast.CallExpr) Interval {
+	fn := calleeFunc(e.pkg.Info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" && len(call.Args) > 0 {
+		switch fn.Name() {
+		case "Min":
+			if len(call.Args) == 2 {
+				a, b := e.of(call.Args[0]), e.of(call.Args[1])
+				return Interval{math.Min(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)}
+			}
+		case "Max":
+			if len(call.Args) == 2 {
+				a, b := e.of(call.Args[0]), e.of(call.Args[1])
+				return Interval{math.Max(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+			}
+		case "Abs":
+			iv := e.of(call.Args[0])
+			if iv.empty() {
+				return iv
+			}
+			hi := math.Max(math.Abs(iv.Lo), math.Abs(iv.Hi))
+			lo := 0.0
+			if iv.Lo > 0 {
+				lo = iv.Lo
+			} else if iv.Hi < 0 {
+				lo = -iv.Hi
+			}
+			return Interval{lo, hi}
+		case "Exp":
+			iv := e.of(call.Args[0])
+			if iv.empty() {
+				return iv
+			}
+			return Interval{math.Exp(iv.Lo), math.Exp(iv.Hi)}
+		}
+	}
+	if fn != nil {
+		return domainInterval(e.sums.Of(fn).ResultDomain)
+	}
+	return fullInterval
+}
+
+// val evaluates one SSA value's interval, memoised; loop φs get one
+// widening pass (descend with the acyclic hull, widen what grew).
+func (e *intervalEval) val(v *SSAValue) Interval {
+	if v == nil {
+		return fullInterval
+	}
+	if iv, ok := e.memo[v]; ok {
+		return iv
+	}
+	if e.busy[v] {
+		// A cyclic reference before the φ has a tentative value: treat the
+		// back edge as contributing nothing yet (hull identity).
+		return emptyInterval
+	}
+	e.busy[v] = true
+	iv := e.valUncached(v)
+	delete(e.busy, v)
+	if v.Phi != nil && !iv.empty() {
+		// Widening pass: assume the acyclic hull, re-evaluate the
+		// arguments (the loop-carried ones now see the tentative value)
+		// and widen any side that grew. The widened interval is stable for
+		// monotone loop bodies.
+		e.memo[v] = iv
+		clearStale(e.memo, v)
+		next := e.phiHull(v)
+		iv = widen(iv, next)
+	}
+	if iv.empty() && v.Phi != nil {
+		iv = fullInterval // no argument flowed in: claim nothing
+	}
+	// Non-φ values keep emptiness: it marks a cycle participant evaluated
+	// under a busy φ, and the join must ignore it, not treat it as full.
+	e.memo[v] = iv
+	return iv
+}
+
+// clearStale drops memo entries computed while the φ held its tentative
+// acyclic hull, so the widening pass re-evaluates them; only the φ's own
+// tentative entry stays.
+func clearStale(memo map[*SSAValue]Interval, phi *SSAValue) {
+	for k := range memo {
+		if k != phi {
+			delete(memo, k)
+		}
+	}
+}
+
+func (e *intervalEval) valUncached(v *SSAValue) Interval {
+	if v.Phi != nil {
+		return e.phiHull(v)
+	}
+	if v.Def == nil {
+		if iv, ok := e.paramIvs[v.Var]; ok {
+			return iv
+		}
+		return fullInterval
+	}
+	switch def := v.Def.(type) {
+	case *ast.AssignStmt:
+		if def.Tok == token.ASSIGN || def.Tok == token.DEFINE {
+			if v.Rhs != nil {
+				return e.of(v.Rhs)
+			}
+			return fullInterval
+		}
+		old := e.compoundOldInterval(def.Lhs[0])
+		if v.Rhs == nil {
+			return old
+		}
+		switch compoundOp(def.Tok) {
+		case token.ADD:
+			return addI(old, e.of(v.Rhs))
+		case token.SUB:
+			return subI(old, e.of(v.Rhs))
+		case token.MUL:
+			return mulI(old, e.of(v.Rhs))
+		case token.QUO:
+			return quoI(old, e.of(v.Rhs))
+		}
+		return fullInterval
+	case *ast.IncDecStmt:
+		old := e.compoundOldInterval(def.X)
+		delta := Interval{1, 1}
+		if def.Tok == token.DEC {
+			return subI(old, delta)
+		}
+		return addI(old, delta)
+	case *ast.DeclStmt:
+		if v.Rhs != nil {
+			return e.of(v.Rhs)
+		}
+		if isFloat(v.Var.Type()) {
+			return Interval{0, 0} // var x float64: the zero value
+		}
+		return fullInterval
+	case *ast.RangeStmt:
+		if id, ok := def.Value.(*ast.Ident); ok && defOrUse(e.pkg.Info, id) == types.Object(v.Var) {
+			return e.of(def.X)
+		}
+		return fullInterval
+	}
+	return fullInterval
+}
+
+// phiHull joins a φ's arguments, refining each along its labelled edge.
+func (e *intervalEval) phiHull(v *SSAValue) Interval {
+	blk := e.ssa.CFG.Blocks[v.Block]
+	out := emptyInterval
+	for i, a := range v.Phi.Args {
+		if a == nil {
+			continue
+		}
+		av := e.val(a)
+		if i < len(blk.Preds) {
+			av = e.refineEdge(av, blk.Preds[i], blk, a)
+		}
+		if av.empty() {
+			continue
+		}
+		out = hull(out, av)
+	}
+	return out
+}
+
+// refineEdge narrows an interval flowing from pred into blk using pred's
+// branch condition: on the true edge of `s > 1` the value is > 1, on the
+// false edge ≤ 1 — the clamp idiom `if s > 1 { s = 1 }` resolves to
+// [lo, 1] after the join.
+func (e *intervalEval) refineEdge(iv Interval, pred, blk *CFGBlock, val *SSAValue) Interval {
+	if pred.Cond == nil {
+		return iv
+	}
+	onTrue := pred.TrueSucc == blk
+	onFalse := pred.FalseSucc == blk
+	if onTrue == onFalse { // both or neither: no single-edge information
+		return iv
+	}
+	cond, ok := unparen(pred.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return iv
+	}
+	// Normalise to ident-op-constant, with the ident resolving to the very
+	// SSA value flowing along this edge (a redefinition between the test
+	// and the join would otherwise misattribute the constraint).
+	id, idOK := unparen(cond.X).(*ast.Ident)
+	c, cOK := e.constOf(cond.Y)
+	op := cond.Op
+	if !idOK || !cOK {
+		id, idOK = unparen(cond.Y).(*ast.Ident)
+		c, cOK = e.constOf(cond.X)
+		op = flipCmp(op)
+	}
+	if !idOK || !cOK || e.ssa.UseVal[id] != val {
+		return iv
+	}
+	if !onTrue {
+		op = negateCmp(op)
+	}
+	switch op {
+	case token.LSS, token.LEQ: // val < c or val ≤ c (closed approximation)
+		return intersect(iv, Interval{math.Inf(-1), c})
+	case token.GTR, token.GEQ:
+		return intersect(iv, Interval{c, math.Inf(1)})
+	}
+	return iv
+}
+
+func (e *intervalEval) constOf(x ast.Expr) (float64, bool) {
+	tv, ok := e.pkg.Info.Types[unparen(x)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constFloatValue(tv.Value)
+}
+
+// constFloatValue converts a go/constant numeric value to float64.
+func constFloatValue(v constant.Value) (float64, bool) {
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		f, _ := constant.Float64Val(constant.ToFloat(v))
+		return f, true
+	}
+	return 0, false
+}
+
+// flipCmp mirrors a comparison when its operands swap sides.
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// negateCmp negates a comparison (the false edge of the branch).
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	}
+	return op
+}
+
+func (e *intervalEval) compoundOldInterval(lhs ast.Expr) Interval {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return fullInterval
+	}
+	if val, ok := e.ssa.UseVal[id]; ok {
+		return e.val(val)
+	}
+	return fullInterval
+}
+
+// probViolation classifies an interval against the [0,1] contract; ""
+// means no positive evidence of escape.
+func probViolation(iv Interval) string {
+	if iv.unknown() || iv.empty() {
+		return ""
+	}
+	switch {
+	case iv.Lo < -probTol:
+		return "may go negative"
+	case iv.Hi > 1+probTol:
+		return "may exceed 1"
+	}
+	return ""
+}
+
+func runProbrange(pass *Pass) error {
+	sums := pass.Summaries()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := sums.Of(fn)
+			params := signatureParams(fn)
+			checkProbFrame(pass, sums, fd.Body, params, sum.ParamDomains, sum, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// checkProbFrame checks the prob sinks of one function frame, recursing
+// into function literals (their returns have no declared domain, so only
+// call-argument sinks apply there).
+func checkProbFrame(pass *Pass, sums *Summaries, body *ast.BlockStmt, params []*types.Var, paramDoms map[int]Domain, sum *FuncSummary, name string) {
+	eval := newIntervalEval(sums, pass.pkg, body, params, paramDoms)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			checkProbFrame(pass, sums, x.Body, funcLitParams(pass.Info, x.Type), nil, nil, name+" literal")
+			return false
+		case *ast.ReturnStmt:
+			if sum == nil || !sum.DomainAnnotated || sum.ResultDomain != DomProb {
+				return true
+			}
+			for _, res := range x.Results {
+				if t := pass.TypeOf(res); t == nil || !isFloat(t) {
+					continue
+				}
+				iv := eval.of(res)
+				if why := probViolation(iv); why != "" {
+					pass.ReportNodef(res, "return of %s is declared //numerics:domain prob but %s (interval [%.4g, %.4g]); clamp before returning",
+						name, why, iv.Lo, iv.Hi)
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, x)
+			if fn == nil {
+				return true
+			}
+			csum := eval.sums.Of(fn)
+			if len(csum.ParamDomains) == 0 {
+				return true
+			}
+			offset := 0
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				offset = 1
+			}
+			cparams := signatureParams(fn)
+			for j, arg := range x.Args {
+				idx := j + offset
+				if csum.ParamDomains[idx] != DomProb || idx >= len(cparams) {
+					continue
+				}
+				if t := pass.TypeOf(arg); t == nil || !isFloat(t) {
+					continue
+				}
+				iv := eval.of(arg)
+				if why := probViolation(iv); why != "" {
+					pass.ReportNodef(arg, "argument to prob parameter %s of %s %s (interval [%.4g, %.4g])",
+						cparams[idx].Name(), fn.Name(), why, iv.Lo, iv.Hi)
+				}
+			}
+		}
+		return true
+	})
+}

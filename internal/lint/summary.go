@@ -68,6 +68,18 @@ type FuncSummary struct {
 	// PoolBorn[j] reports that result j may be a pool-born buffer
 	// (obtained from a VecPool-style Get and owned by the caller).
 	PoolBorn []bool
+	// ParamDomains maps parameter index (receiver first) to the declared
+	// numeric domain from //numerics:domain name=dom tokens.
+	ParamDomains map[int]Domain
+	// ResultDomain is the numeric domain of the function's float (or
+	// float-slice) results: declared by a bare //numerics:domain token, or
+	// inferred bottom-up from the return expressions of an unannotated
+	// body. DomUnknown when neither commits.
+	ResultDomain Domain
+	// DomainAnnotated reports an explicit //numerics:domain annotation.
+	DomainAnnotated bool
+	// BadDomains lists //numerics:domain tokens that failed validation.
+	BadDomains []BadTerm
 }
 
 // declSite is where a *types.Func is declared: a FuncDecl, or an
@@ -118,6 +130,22 @@ func (p *Package) CFG(body *ast.BlockStmt) *CFG {
 	c := BuildCFG(body)
 	p.cfgs[body] = c
 	return c
+}
+
+// SSA returns the cached pruned-SSA form of a function body within this
+// package (keyed by body node, like CFG). params lists the function's
+// parameters, receiver first; they only matter on the first call for a
+// given body.
+func (p *Package) SSA(body *ast.BlockStmt, params []*types.Var) *SSA {
+	if p.ssas == nil {
+		p.ssas = make(map[*ast.BlockStmt]*SSA)
+	}
+	if s, ok := p.ssas[body]; ok {
+		return s
+	}
+	s := BuildSSA(p.CFG(body), p.Info, params)
+	p.ssas[body] = s
+	return s
 }
 
 // index records the declaration sites of a package's functions, methods
@@ -202,6 +230,10 @@ func (s *Summaries) compute(fn *types.Func) *FuncSummary {
 	site := s.site(fn)
 	if site != nil {
 		sum.Truncates, sum.BadTerms, sum.Annotated = parseTruncates(site.doc)
+		sum.ParamDomains, sum.ResultDomain, sum.BadDomains, sum.DomainAnnotated = parseDomains(site.doc, signatureParams(fn))
+	}
+	if sum.ResultDomain == DomUnknown {
+		sum.ResultDomain = builtinDomain(fn)
 	}
 	if !sum.Annotated {
 		if terms := registryTerms(fn); terms != nil {
@@ -229,6 +261,12 @@ func (s *Summaries) compute(fn *types.Func) *FuncSummary {
 		sum.Returns = res.returns
 	}
 	sum.PoolBorn = poolBornResults(site.pkg, site.decl.Type, site.decl.Body, s)
+	if sum.ResultDomain == DomUnknown {
+		// Bottom-up propagation: an unannotated helper returning
+		// math.Log(p) of a prob parameter is a log-space producer for its
+		// callers without any annotation of its own.
+		sum.ResultDomain = inferResultDomain(s, site.pkg, site.decl, params, sum.ParamDomains)
+	}
 	return sum
 }
 

@@ -28,6 +28,8 @@ type PoissonWeights struct {
 
 // Weight returns the normalised Poisson probability of i, or 0 outside the
 // truncation window.
+//
+//numerics:domain prob
 func (p *PoissonWeights) Weight(i int) float64 {
 	if i < p.Left || i > p.Right {
 		return 0
@@ -243,6 +245,8 @@ func PoissonTruncation(q, eps float64) (int, error) {
 }
 
 // PoissonPMF returns the Poisson(q) probability of n, computed in log space.
+//
+//numerics:domain prob q=rate
 func PoissonPMF(q float64, n int) float64 {
 	if q == 0 {
 		if n == 0 {
@@ -250,10 +254,13 @@ func PoissonPMF(q float64, n int) float64 {
 		}
 		return 0
 	}
+	//lint:ignore probrange the exponent -q + n*log(q) - log(n!) is the log of a Poisson mass, hence <= 0, so Exp stays in [0,1]; interval analysis cannot bound a log-space exponent
 	return math.Exp(-q + float64(n)*math.Log(q) - logFactorial(n))
 }
 
 // logFactorial returns ln(n!) via the log-gamma function.
+//
+//numerics:domain log
 func logFactorial(n int) float64 {
 	lg, _ := math.Lgamma(float64(n) + 1)
 	return lg

@@ -27,6 +27,8 @@ func ApproxEqual(a, b, tol float64) bool {
 
 // LogFactorials returns the table lf with lf[i] = ln(i!) for 0 ≤ i ≤ n,
 // built by the stable running sum lf[i] = lf[i-1] + ln(i).
+//
+//numerics:domain log
 func LogFactorials(n int) []float64 {
 	if n < 0 {
 		return nil
@@ -42,6 +44,8 @@ func LogFactorials(n int) []float64 {
 // that deep tails underflow gracefully to 0 instead of polluting sums with
 // Inf/NaN. lf must hold log-factorials at least up to n (LogFactorials).
 // The degenerate success probabilities 0 and 1 short-circuit exactly.
+//
+//numerics:domain prob lf=log x=prob
 func BinomialPMF(lf []float64, n, k int, x float64) float64 {
 	if k < 0 || k > n {
 		return 0
@@ -59,6 +63,7 @@ func BinomialPMF(lf []float64, n, k int, x float64) float64 {
 		}
 		return 0
 	}
+	//lint:ignore probrange the exponent is the log of a binomial mass, hence <= 0, so Exp stays in [0,1]; interval analysis cannot bound a log-space exponent
 	return math.Exp(lf[n] - lf[k] - lf[n-k] +
 		float64(k)*math.Log(x) + float64(n-k)*math.Log1p(-x))
 }
@@ -68,6 +73,8 @@ func BinomialPMF(lf []float64, n, k int, x float64) float64 {
 // BinomialPMF — results are bitwise equal — but hoists log(x) and
 // log1p(-x) out of the loop, which matters to callers that need whole rows
 // per uniformisation level (the Sericola recursion evaluates O(N²) terms).
+//
+//numerics:domain lf=log x=prob dst=prob
 func BinomialRow(lf []float64, n int, x float64, dst []float64) {
 	//lint:ignore floatcmp degenerate success probability is set exactly by callers; the general branch handles x in (0,1)
 	if x == 0 || x == 1 {
@@ -87,6 +94,8 @@ func BinomialRow(lf []float64, n int, x float64, dst []float64) {
 // closure over a precomputed log-factorial table and cached ln(q) — the
 // per-call cost on hot uniformisation loops is one Exp. Arguments outside
 // the table range return 0.
+//
+//numerics:domain q=rate
 func PoissonPMFTable(q float64, nMax int) (func(n int) float64, error) {
 	if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
 		return nil, fmt.Errorf("numeric: PoissonPMFTable rate %v out of range", q)

@@ -106,6 +106,8 @@ type Result struct {
 // ReachProbAll computes Pr{Y_t ≤ r, X_t ∈ goal | X₀ = i} for every state i,
 // the quantity required by Theorem 2 of the paper. It is the batch of one:
 // see ReachProbBatch for several reward bounds sharing one recursion.
+//
+//numerics:domain t=rate r=rate
 func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (*Result, error) {
 	res, err := ReachProbBatch(m, goal, t, []float64{r}, opts)
 	if err != nil {
@@ -139,6 +141,8 @@ type target struct {
 // Degenerate bounds (certainly exceeded, or vacuous against the maximal
 // accumulable reward) are resolved without touching the recursion;
 // vacuous bounds share one transient sweep.
+//
+//numerics:domain t=rate rs=rate
 func ReachProbBatch(m *mrm.MRM, goal *mrm.StateSet, t float64, rs []float64, opts Options) ([]*Result, error) {
 	if opts.Epsilon <= 0 {
 		opts.Epsilon = DefaultOptions().Epsilon
@@ -362,6 +366,8 @@ func ReachProbBatch(m *mrm.MRM, goal *mrm.StateSet, t float64, rs []float64, opt
 
 // ReachProb computes the Theorem 2 quantity from the model's initial
 // distribution.
+//
+//numerics:domain prob t=rate r=rate
 func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (float64, int, error) {
 	res, err := ReachProbAll(m, goal, t, r, opts)
 	if err != nil {

@@ -274,6 +274,8 @@ func mulBlockTRange(m *CSR, dst, src []float64, g, lo, hi int) {
 // reduction). Because the fan-out decision changes the reduction order,
 // the grain policy deliberately matches MulVecTPar's — nnz alone, not
 // nnz·g — so the two kernels always agree on whether to partition.
+//
+//numerics:order-invariant fanout=rowCuts the gather folds the same rowCuts partition as MulVecTPar in worker order, keeping the two kernels bitwise equal column by column at a fixed workers value
 func (m *CSR) MulBlockTPar(dst, src *Block, workers int) {
 	if dst.n != m.n || src.n != m.n || dst.g != src.g {
 		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller

@@ -132,6 +132,8 @@ func (c *scatterCache) reset() {
 // reassociate floating-point addition relative to MulVecT; results agree
 // with the sequential kernel up to roundoff (exactly when each column is
 // touched by at most one worker).
+//
+//numerics:order-invariant fanout=rowCuts the gather folds the rowCuts partition in worker order; results are deterministic at a fixed workers value and agree with MulVecT up to roundoff
 func (m *CSR) MulVecTPar(dst, x []float64, workers int) {
 	if len(dst) != m.n || len(x) != m.n {
 		//lint:ignore bannedcall dimension mismatch is a programmer error on the hottest kernel; an error return would tax every caller

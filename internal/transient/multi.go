@@ -110,6 +110,8 @@ func sweepMulti(p *sparse.CSR, vs [][]float64, w *numeric.PoissonWeights, q floa
 // BackwardWeighted(m, vs[j], t, opts) at the same Workers value. When
 // opts.Pool is set the returned slices are pool-born; ownership transfers
 // to the caller.
+//
+//numerics:domain t=rate
 func BackwardWeightedMulti(m *mrm.MRM, vs [][]float64, t float64, opts Options) ([][]float64, error) {
 	return multi(m, vs, t, opts, false)
 }
@@ -118,6 +120,8 @@ func BackwardWeightedMulti(m *mrm.MRM, vs [][]float64, t float64, opts Options) 
 // distributions over the same model and time bound, advanced together as
 // one block per forward pass. result[j] is bitwise equal to
 // DistributionFrom(m, inits[j], t, opts) at the same Workers value.
+//
+//numerics:domain prob inits=prob t=rate
 func DistributionFromMulti(m *mrm.MRM, inits [][]float64, t float64, opts Options) ([][]float64, error) {
 	return multi(m, inits, t, opts, true)
 }

@@ -216,6 +216,8 @@ func sweep(p *sparse.CSR, v []float64, w *numeric.PoissonWeights, q float64, opt
 
 // Distribution returns the transient state distribution π(t) of the model's
 // CTMC starting from its initial distribution α.
+//
+//numerics:domain prob t=rate
 func Distribution(m *mrm.MRM, t float64, opts Options) ([]float64, error) {
 	return DistributionFrom(m, m.Init(), t, opts)
 }
@@ -223,6 +225,8 @@ func Distribution(m *mrm.MRM, t float64, opts Options) ([]float64, error) {
 // DistributionFrom returns π(t) starting from the given distribution.
 // When opts.Pool is set the returned slice is pool-born; ownership
 // transfers to the caller.
+//
+//numerics:domain prob init=prob t=rate
 func DistributionFrom(m *mrm.MRM, init []float64, t float64, opts Options) ([]float64, error) {
 	opts = opts.normalise()
 	if len(init) != m.N() {
@@ -259,6 +263,8 @@ func DistributionFrom(m *mrm.MRM, init []float64, t float64, opts Options) ([]fl
 // in the goal set at time t when started in s:
 // result[s] = Pr_s{X_t ∈ goal}. Combined with making states absorbing this
 // computes time-bounded until probabilities (P1 procedure, ref [3]).
+//
+//numerics:domain prob t=rate
 func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t float64, opts Options) ([]float64, error) {
 	opts = opts.normalise()
 	if goal.Universe() != m.N() {
@@ -276,6 +282,8 @@ func ReachProbAll(m *mrm.MRM, goal *mrm.StateSet, t float64, opts Options) ([]fl
 // used for interval-bounded until (two-phase computation). When opts.Pool
 // is set the returned slice is pool-born; ownership transfers to the
 // caller.
+//
+//numerics:domain t=rate
 func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float64, error) {
 	opts = opts.normalise()
 	if len(v) != m.N() {
@@ -308,6 +316,8 @@ func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float
 // TimeBoundedUntil computes Pr_s{Φ U^{≤t} Ψ} for every state s: the P1
 // procedure of the paper (§3): make Ψ and ¬(Φ∨Ψ) states absorbing, then a
 // transient analysis at time t decides the formula.
+//
+//numerics:domain prob t=rate
 func TimeBoundedUntil(m *mrm.MRM, phi, psi *mrm.StateSet, t float64, opts Options) ([]float64, error) {
 	absorb := phi.Union(psi).Complement().Union(psi)
 	abs, err := m.MakeAbsorbing(absorb, false)

@@ -1,0 +1,12 @@
+// Suppression case for the detorder analyzer: a //lint:ignore directive
+// with a reason silences one accumulation finding.
+package fake
+
+func suppressedFold(partials []float64, workers int) float64 {
+	s := 0.0
+	for w := 0; w < workers; w++ {
+		//lint:ignore detorder the partials are rounded to a fixed grid before folding
+		s += partials[w]
+	}
+	return s
+}

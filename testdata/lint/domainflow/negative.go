@@ -1,0 +1,49 @@
+// Negative cases for the domainflow analyzer: legal domain arithmetic
+// must stay silent.
+package fake
+
+import "math"
+
+// uniformisationRate returns the linear-space rate q·t.
+//
+//numerics:domain rate
+func uniformisationRate(q, t float64) float64 { return q * t }
+
+// logWeight computes the log-space Poisson exponent −qt + n·log(qt).
+// Rates legally mix into log-space exponent arithmetic.
+//
+//numerics:domain log
+func logWeight(q, t float64, n int) float64 {
+	qt := uniformisationRate(q, t)
+	return float64(n)*math.Log(qt) - qt
+}
+
+//numerics:domain prob
+func massA() float64 { return 0.25 }
+
+//numerics:domain prob
+func massB() float64 { return 0.5 }
+
+// Two linear masses add in the same family.
+func sumMasses() float64 { return massA() + massB() }
+
+// One exponentiation converts a log weight back to linear space.
+func backToLinear(q, t float64) float64 {
+	return math.Exp(logWeight(q, t, 2))
+}
+
+// Taking the log of a linear mass converts it into log space.
+func toLogSpace() float64 { return math.Log(massA()) }
+
+// scaledWeight is unannotated: its log domain is inferred bottom-up, so
+// adding it to another log weight is consistent.
+func scaledWeight(q, t float64) float64 { return logWeight(q, t, 3) }
+
+func combined(q, t float64) float64 {
+	return scaledWeight(q, t) + logWeight(q, t, 1)
+}
+
+// Unknown operands never participate in findings.
+func unknownMix(x float64, q, t float64) float64 {
+	return x + logWeight(q, t, 1)
+}

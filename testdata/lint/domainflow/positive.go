@@ -1,0 +1,75 @@
+// Positive cases for the domainflow analyzer: log/linear mixing, double
+// exponentiation, log-of-log, parameter and return domain conflicts, and
+// malformed annotations.
+package fake
+
+import "math"
+
+// logPoisson returns the log-space Poisson weight.
+//
+//numerics:domain log
+func logPoisson(lambda float64, n int) float64 {
+	return float64(n)*math.Log(lambda) - lambda
+}
+
+// mass returns a linear probability mass.
+//
+//numerics:domain prob
+func mass() float64 { return 0.5 }
+
+// A log-space weight added to a linear mass is the classic underflow
+// bug: the weight had to be exponentiated first.
+func mixAdd(lambda float64) float64 {
+	w := logPoisson(lambda, 3)
+	p := mass()
+	return w + p // want "mixes log-space and linear-space values"
+}
+
+// inferredLog is unannotated; its log-space result is inferred bottom-up
+// through the summary engine.
+func inferredLog(lambda float64) float64 { return logPoisson(lambda, 4) }
+
+func mixInferred(lambda float64) float64 {
+	p := mass()
+	return inferredLog(lambda) + p // want "mixes log-space and linear-space values"
+}
+
+func doubleExp(x float64) float64 {
+	e := math.Exp(x)
+	return math.Exp(e) // want "double exponentiation"
+}
+
+func expOfProb() float64 {
+	p := mass()
+	return math.Exp(p) // want "math.Exp applied to a prob-domain value"
+}
+
+func logOfLog(lambda float64) float64 {
+	w := logPoisson(lambda, 2)
+	return math.Log(w) // want "math.Log applied to a log-space value"
+}
+
+// accumulateMass folds a linear mass into a running total.
+//
+//numerics:domain p=prob
+func accumulateMass(total, p float64) float64 {
+	return total + p
+}
+
+func passesLogMass(lambda float64) float64 {
+	w := logPoisson(lambda, 1)
+	return accumulateMass(0, w) // want "passes a log-space value to parameter p"
+}
+
+// claimedProb declares a prob result but computes a log-space weight.
+//
+//numerics:domain prob
+func claimedProb(lambda float64) float64 {
+	return math.Log(lambda) // want "declares //numerics:domain prob"
+}
+
+//numerics:domain frob // want "unknown domain frob"
+func badDomainTok() float64 { return 0 }
+
+//numerics:domain q=prob // want "no parameter named q"
+func badParamName(p float64) float64 { return p }

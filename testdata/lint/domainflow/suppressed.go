@@ -1,0 +1,16 @@
+// Suppression case for the domainflow analyzer: a //lint:ignore
+// directive with a reason silences a mixing finding.
+package fake
+
+import "math"
+
+//numerics:domain log
+func logw(x float64) float64 { return math.Log(x) }
+
+//numerics:domain prob
+func pm() float64 { return 0.5 }
+
+func deliberateMix() float64 {
+	//lint:ignore domainflow demonstrating a documented suppression
+	return logw(2) + pm()
+}

@@ -1,0 +1,56 @@
+// Floatcmp v2 cases: the tolerance-helper exemption follows local
+// aliases (function literals bound to approved names) and bool-returning
+// wrappers that delegate to an approved helper — and nothing else.
+package fake
+
+import "math"
+
+func approxEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// A function literal bound to an approved name carries the exemption.
+func viaAlias(xs, ys []float64) bool {
+	almostEqual := func(a, b float64) bool {
+		if math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return a == b
+		}
+		return math.Abs(a-b) <= 1e-12
+	}
+	for i := range xs {
+		if !almostEqual(xs[i], ys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// A bool-returning wrapper that routes its finite cases through an
+// approved helper may compare exactly for the infinity fast path.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return approxEqual(a, b, 1e-9)
+}
+
+// An unapproved name on the literal gets no exemption.
+func viaUnapprovedAlias(a, b float64) bool {
+	same := func(x, y float64) bool { return x == y } // want "floating-point == comparison"
+	return same(a, b)
+}
+
+// A float-returning function is no tolerance wrapper: its raw comparison
+// is flagged even though it calls an approved helper.
+func pickCloser(a, b, target float64) float64 {
+	if approxEqual(a, target, 1e-9) {
+		return a
+	}
+	if a == b { // want "floating-point == comparison"
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Negative cases for the probrange analyzer: clamped, multiplied and
+// unknown values stay silent.
+package fake
+
+import "math"
+
+// The clamp idiom narrows the running sum on both branch edges.
+//
+//numerics:domain prob masses=prob
+func residualClamped(masses []float64) float64 {
+	s := 0.0
+	for _, m := range masses {
+		s += m
+	}
+	if s > 1 {
+		s = 1
+	}
+	return 1 - s
+}
+
+// math.Min clamps without a branch.
+//
+//numerics:domain prob masses=prob
+func residualMin(masses []float64) float64 {
+	s := 0.0
+	for _, m := range masses {
+		s += m
+	}
+	return 1 - math.Min(s, 1)
+}
+
+// A product of masses stays in [0,1].
+//
+//numerics:domain prob p=prob q=prob
+func productMass(p, q float64) float64 { return p * q }
+
+//numerics:domain prob p=prob q=prob
+func clampedSum(p, q float64) float64 {
+	return math.Min(p+q, 1)
+}
+
+// math.Max floors a possibly-negative residue.
+//
+//numerics:domain prob masses=prob
+func residualFloor(masses []float64) float64 {
+	s := 0.0
+	for _, m := range masses {
+		s += m
+	}
+	return math.Max(0, 1-s)
+}
+
+// An unannotated operand leaves the interval unknown: no finding.
+//
+//numerics:domain prob
+func unknownStays(x float64) float64 { return x }

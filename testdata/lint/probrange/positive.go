@@ -1,0 +1,33 @@
+// Positive cases for the probrange analyzer: prob-annotated values whose
+// interval provably escapes [0,1].
+package fake
+
+// residualMass returns the mass not yet accounted for; the unclamped
+// running sum can exceed 1, so the residue can go negative.
+//
+//numerics:domain prob masses=prob
+func residualMass(masses []float64) float64 {
+	s := 0.0
+	for _, m := range masses {
+		s += m
+	}
+	return 1 - s // want "may go negative"
+}
+
+//numerics:domain prob p=prob q=prob
+func totalMass(p, q float64) float64 {
+	return p + q // want "may exceed 1"
+}
+
+//numerics:domain prob p=prob
+func negatedMass(p float64) float64 {
+	return -p // want "may go negative"
+}
+
+//numerics:domain p=prob
+func chargeMass(p float64) float64 { return p }
+
+//numerics:domain a=prob b=prob
+func overCharge(a, b float64) float64 {
+	return chargeMass(a + b) // want "may exceed 1"
+}

@@ -1,0 +1,8 @@
+// Suppression case for the probrange analyzer.
+package fake
+
+//numerics:domain prob p=prob q=prob
+func knownOverflow(p, q float64) float64 {
+	//lint:ignore probrange the caller normalises the sum immediately afterwards
+	return p + q
+}
