@@ -1,0 +1,16 @@
+// Temporary repro for stale-memo false negative.
+package fake
+
+//numerics:domain p=prob
+func probSink(p float64) float64 { return p }
+
+//numerics:domain w=prob
+func accumRepro(n int, w float64) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		probSink(s) // use before += forces phi evaluation first
+		s += w
+		probSink(s) // s here can exceed 1 — should be flagged
+	}
+	return s
+}
