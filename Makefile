@@ -41,6 +41,7 @@ bench-smoke:
 	$(GO) run ./cmd/perfbench -compare
 	$(GO) run ./cmd/perfbench -json BENCH_PR7.json -workers-sweep
 	$(GO) run ./cmd/mrmlint -bench-json BENCH_PR8.json ./...
+	$(GO) run ./cmd/perfbench -scale-json BENCH_PR9.json
 
 # Compare a fresh benchmark run against the committed performance trail;
 # exits non-zero on >20% time or >10% allocation regressions, and refuses
@@ -49,9 +50,14 @@ bench-smoke:
 # The lint leg re-times cold vs warm into a scratch file (the committed
 # BENCH_PR8.json is the recorded trail) and fails when the warm cached
 # run is not at least twice as fast as cold or replay diverges.
+# The scale leg validates the committed BENCH_PR9.json invariants (≥10^5
+# states, ≥5× truncated speedup, truncation budget ≤ ε), re-proves the
+# budget live on a smaller cluster instance, and gates the automatic lump
+# pre-pass against noise on the 9-state seed model.
 bench-check:
 	$(GO) run ./cmd/perfbench -baseline BENCH_PR7.json -workers-sweep
 	$(GO) run ./cmd/mrmlint -bench-json /tmp/mrmlint-bench-check.json ./...
+	$(GO) run ./cmd/perfbench -scale-check BENCH_PR9.json
 
 fmt:
 	gofmt -l -w .

@@ -4,10 +4,14 @@
 //	csrlcheck -model station.json 'P>0.5 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]'
 //	csrlcheck -model station.json -algorithm erlang -k 512 'P=? [ F{r<=600} call_incoming ]'
 //	csrlcheck -model station.json -states 'S>=0.9 [ call_idle ]'
+//	csrlcheck -model cluster:224 -truncate 1e-14 'P<=0.021 [ !down U{t<=96} down ]'
 //
-// For bounded formulas it prints the satisfying states and whether the
-// model's initial distribution satisfies the formula; for P=? / S=? query
-// formulas it prints the numeric value per state.
+// The -model argument is either a JSON file path or cluster:N, which
+// generates the parametric workstation-cluster instance with N stations
+// per side (2·(N+1)² states) on the fly. For bounded formulas it prints
+// the satisfying states and whether the model's initial distribution
+// satisfies the formula; for P=? / S=? query formulas it prints the
+// numeric value per state.
 package main
 
 import (
@@ -15,11 +19,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
+	"github.com/performability/csrl/internal/cluster"
 	"github.com/performability/csrl/internal/core"
 	"github.com/performability/csrl/internal/logic"
-	"github.com/performability/csrl/internal/lump"
 	"github.com/performability/csrl/internal/modelfile"
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/obs"
@@ -34,19 +39,33 @@ func main() {
 	os.Exit(code)
 }
 
+// loadModel resolves the -model argument: a cluster:N family instance or a
+// modelfile JSON path.
+func loadModel(spec string) (*mrm.MRM, error) {
+	if rest, ok := strings.CutPrefix(spec, "cluster:"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("-model cluster:N needs an integer N, got %q", rest)
+		}
+		return cluster.Default(n).Build()
+	}
+	return modelfile.Load(spec)
+}
+
 // run returns the process exit code: 0 when the formula holds (or for
 // query formulas), 2 when a bounded formula does not hold.
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("csrlcheck", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "", "path to the model JSON file (required)")
+		modelPath = fs.String("model", "", "model JSON file, or cluster:N for the parametric workstation cluster (required)")
 		algorithm = fs.String("algorithm", "sericola", "P3 procedure: sericola | erlang | discretise")
 		epsilon   = fs.Float64("epsilon", 1e-9, "accuracy for uniformisation-based computations")
 		k         = fs.Int("k", 256, "phase count for -algorithm erlang")
 		d         = fs.Float64("d", 0, "step for -algorithm discretise (0 = automatic)")
 		workers   = fs.Int("workers", 0, "worker goroutines for the numerical procedures (0 = all CPUs, 1 = sequential)")
 		states    = fs.Bool("states", false, "list every state with its verdict/value")
-		doLump    = fs.Bool("lump", false, "lump the model w.r.t. the formula's atoms before checking")
+		doLump    = fs.Bool("lump", true, "quotient the model by formula-respecting lumpability before checking (automatic pre-pass)")
+		truncate  = fs.Float64("truncate", 0, "drop states below this mass from the forward transient sweeps; the dropped mass is charged to the error ledger (0 = off)")
 		stats     = fs.Bool("stats", false, "print the numerics report: error-budget ledger, counters and spans")
 	)
 	fs.Usage = func() {
@@ -66,7 +85,7 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	formulaSrc := fs.Arg(0)
 
-	m, err := modelfile.Load(*modelPath)
+	m, err := loadModel(*modelPath)
 	if err != nil {
 		return 1, err
 	}
@@ -79,6 +98,10 @@ func run(args []string, out io.Writer) (int, error) {
 	opts.ErlangK = *k
 	opts.DiscretiseStep = *d
 	opts.Workers = *workers
+	opts.Truncate = *truncate
+	if !*doLump {
+		opts.Lump = core.LumpOff
+	}
 	switch strings.ToLower(*algorithm) {
 	case "sericola", "occupation-time":
 		opts.P3 = core.AlgSericola
@@ -89,35 +112,14 @@ func run(args []string, out io.Writer) (int, error) {
 	default:
 		return 1, fmt.Errorf("unknown algorithm %q", *algorithm)
 	}
-	// Formula-dependent lumping: quotient the model by ordinary
-	// lumpability respecting only the formula's atoms; verdicts and values
-	// are lifted back to the original states afterwards.
-	original := m
-	var lumped *lump.Result
-	if *doLump {
-		lumped, err = lump.QuotientRespecting(m, logic.Atoms(formula))
-		if err != nil {
-			return 1, err
-		}
-		m = lumped.Model
-	}
 	if *stats {
 		opts.Obs = obs.New()
 	}
 	checker := core.New(m, opts)
 
-	fmt.Fprintf(out, "model:   %s (%d states)\n", *modelPath, original.N())
-	if lumped != nil {
-		fmt.Fprintf(out, "lumped:  %d states\n", m.N())
-	}
+	fmt.Fprintf(out, "model:   %s (%d states)\n", *modelPath, m.N())
 	fmt.Fprintf(out, "formula: %s\n", formula)
 
-	lift := func(vals []float64) []float64 {
-		if lumped == nil {
-			return vals
-		}
-		return lumped.Lift(vals)
-	}
 	// printStats emits the numerics report after the check so the ledger
 	// covers every procedure the formula actually exercised; no-op unless
 	// -stats armed a recorder.
@@ -128,26 +130,43 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	if isQuery(formula) {
-		qvals, err := checker.Values(formula)
+		vals, err := checker.Values(formula)
 		if err != nil {
 			return 1, err
 		}
-		vals := lift(qvals)
 		var initVal float64
-		for s, p := range original.Init() {
+		for s, p := range m.InitView() {
 			initVal += p * vals[s]
 		}
 		fmt.Fprintf(out, "value from the initial distribution: %0.10f\n", initVal)
 		if *states {
 			for s, v := range vals {
-				fmt.Fprintf(out, "  %-30s %0.10f\n", original.Name(s), v)
+				fmt.Fprintf(out, "  %-30s %0.10f\n", m.Name(s), v)
 			}
 		}
 		printStats()
 		return 0, nil
 	}
 
-	qsat, err := checker.Sat(formula)
+	// With truncation on, Check can answer for the initial states by
+	// forward sweeps over the active window alone; the full satisfying-state
+	// listing would force the dense all-states computation truncation is
+	// there to avoid, so it is only produced when -states demands it.
+	if *truncate > 0 && !*states {
+		holds, err := checker.Check(formula)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(out, "satisfying states: not computed (truncated run; pass -states to force the full sweep)\n")
+		fmt.Fprintf(out, "holds in the initial state(s): %v\n", holds)
+		printStats()
+		if !holds {
+			return 2, nil
+		}
+		return 0, nil
+	}
+
+	sat, err := checker.Sat(formula)
 	if err != nil {
 		return 1, err
 	}
@@ -155,23 +174,14 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 1, err
 	}
-	sat := qsat
-	if lumped != nil {
-		sat = mrm.NewStateSet(original.N())
-		for s, b := range lumped.BlockOf {
-			if qsat.Contains(b) {
-				sat.Add(s)
-			}
-		}
-	}
-	fmt.Fprintf(out, "satisfying states: %d of %d\n", sat.Len(), original.N())
+	fmt.Fprintf(out, "satisfying states: %d of %d\n", sat.Len(), m.N())
 	if *states {
-		for s := 0; s < original.N(); s++ {
+		for s := 0; s < m.N(); s++ {
 			verdict := "no"
 			if sat.Contains(s) {
 				verdict = "YES"
 			}
-			fmt.Fprintf(out, "  %-30s %s\n", original.Name(s), verdict)
+			fmt.Fprintf(out, "  %-30s %s\n", m.Name(s), verdict)
 		}
 	}
 	fmt.Fprintf(out, "holds in the initial state(s): %v\n", holds)

@@ -171,6 +171,7 @@ func TestRunErrors(t *testing.T) {
 		{"two formulas", []string{"-model", path, "a", "b"}},
 		{"bad formula", []string{"-model", path, "P>0.5 [ a U"}},
 		{"bad algorithm", []string{"-model", path, "-algorithm", "magic", "P>0 [ F doze ]"}},
+		{"bad cluster spec", []string{"-model", "cluster:x", "P>0 [ F down ]"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -200,14 +201,20 @@ func TestRunWithLumping(t *testing.T) {
 		t.Fatal(err)
 	}
 	var plain, lumped bytes.Buffer
-	if _, err := run([]string{"-model", path, "-states", "P=? [ F{t<=1} edge ]"}, &plain); err != nil {
+	if _, err := run([]string{"-model", path, "-lump=false", "-states", "P=? [ F{t<=1} edge ]"}, &plain); err != nil {
 		t.Fatalf("plain: %v", err)
 	}
-	if _, err := run([]string{"-model", path, "-lump", "-states", "P=? [ F{t<=1} edge ]"}, &lumped); err != nil {
+	if _, err := run([]string{"-model", path, "-states", "P=? [ F{t<=1} edge ]"}, &lumped); err != nil {
 		t.Fatalf("lumped: %v", err)
 	}
-	if !strings.Contains(lumped.String(), "lumped:  2 states") {
-		t.Errorf("expected a 2-state quotient:\n%s", lumped.String())
+	// Lumping is on by default; the stats gauges prove the pre-pass really
+	// quotiented 3 states into 2 on the default run.
+	var stats bytes.Buffer
+	if _, err := run([]string{"-model", path, "-stats", "P=? [ F{t<=1} edge ]"}, &stats); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(stats.String(), "lump.blocks") || !strings.Contains(stats.String(), "lump.states") {
+		t.Errorf("expected lump gauges in the stats report:\n%s", stats.String())
 	}
 	// The per-state values must agree between the two runs.
 	extract := func(out string) []string {
@@ -230,5 +237,50 @@ func TestRunWithLumping(t *testing.T) {
 		if a[i] != b[i] {
 			t.Errorf("state %d: %s vs %s", i, a[i], b[i])
 		}
+	}
+}
+
+// TestRunClusterTruncated exercises the generated-model scheme together
+// with the truncated fast path: the verdict comes from forward sweeps over
+// the initial state only, the satisfying-state listing is skipped, and the
+// dropped mass shows up as a bounded ledger charge.
+func TestRunClusterTruncated(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-model", "cluster:8", "-truncate", "1e-14", "-stats",
+		"P<=0.021 [ !down U{t<=96} down ]"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "(162 states)") {
+		t.Errorf("cluster:8 should have 162 states:\n%s", text)
+	}
+	if !strings.Contains(text, "satisfying states: not computed") {
+		t.Errorf("truncated run should skip the full listing:\n%s", text)
+	}
+	if !strings.Contains(text, "holds in the initial state(s): true") {
+		t.Errorf("property should hold:\n%s", text)
+	}
+	if !strings.Contains(text, "truncation/state-drop") {
+		t.Errorf("ledger should carry the truncation term:\n%s", text)
+	}
+	if !strings.Contains(text, ": OK") {
+		t.Errorf("budget should be proved:\n%s", text)
+	}
+	// -states forces the dense listing even when truncating.
+	var listed bytes.Buffer
+	code, err = run([]string{"-model", "cluster:8", "-truncate", "1e-14", "-states",
+		"P<=0.021 [ !down U{t<=96} down ]"}, &listed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, listed.String())
+	}
+	if !strings.Contains(listed.String(), "of 162") || strings.Contains(listed.String(), "not computed") {
+		t.Errorf("-states should compute the full listing:\n%s", listed.String())
 	}
 }

@@ -61,6 +61,9 @@ func run(args []string, w io.Writer) error {
 		jsonPath = fs.String("json", "", "run the benchmark matrix and write a BENCH_PR7.json-style report to this path")
 		baseline = fs.String("baseline", "", "compare the benchmark matrix against this stored report; exit non-zero on >20% time or >10% alloc regressions")
 		wkSweep  = fs.Bool("workers-sweep", false, "with -json/-baseline: additionally time the sweep matrix at Workers ∈ {1,2,4,8} so the report carries speedup curves (num_cpu is stamped)")
+		scPath   = fs.String("scale-json", "", "run the cluster scale sweep (dense vs truncated check past 10^5 states) and write a BENCH_PR9.json-style record to this path")
+		scCheck  = fs.String("scale-check", "", "validate this stored scale record, re-prove the truncation budget on a smaller instance, and gate the lump pre-pass on the seed model")
+		scN      = fs.Int("scale-n", scaleN, "workstations per side for -scale-json (2·(n+1)² states)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,9 +71,15 @@ func run(args []string, w io.Writer) error {
 	if *dump != "" {
 		return dumpModel(w, *dump)
 	}
+	if *scPath != "" {
+		return scaleJSON(w, *scPath, *scN, *workers)
+	}
+	if *scCheck != "" {
+		return scaleCheck(w, *scCheck, *workers)
+	}
 	if !*all && !*compare && *table == 0 && *figure == 0 && *q == 0 && *jsonPath == "" && *baseline == "" {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -table, -figure, -q, -compare, -json, -baseline or -all")
+		return fmt.Errorf("nothing to do: pass -table, -figure, -q, -compare, -json, -baseline, -scale-json, -scale-check or -all")
 	}
 
 	red, err := adhoc.Q3Reduced()

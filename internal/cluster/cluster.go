@@ -1,0 +1,155 @@
+// Package cluster provides the parametric fault-tolerant workstation
+// cluster SRN family — the scale corpus of the repository. Two symmetric
+// sub-clusters of N workstations each are joined by a backbone; any
+// workstation fails and is repaired by its side's repair unit, which needs
+// the backbone up to coordinate, and the backbone itself fails and is
+// repaired. The reachability graph has exactly 2·(N+1)² markings, so the
+// N knob sweeps the family smoothly past 10^5 states (N = 224 gives
+// 101 250) while the probability mass stays concentrated near the
+// all-up corner — the regime the truncated forward sweeps are built for.
+//
+// The family deliberately carries no impulse rewards: every procedure
+// (lumping included) applies. The rate reward is the number of broken
+// workstations, the classic performability measure.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/srn"
+)
+
+// Params fixes one instance of the family. All rates are per hour.
+type Params struct {
+	// N is the number of workstations on each side.
+	N int
+	// WorkFail is the failure rate of one workstation; a side with k
+	// working stations fails at rate k·WorkFail.
+	WorkFail float64
+	// WorkRepair is the rate of each side's single repair unit.
+	WorkRepair float64
+	// BackFail and BackRepair govern the backbone.
+	BackFail, BackRepair float64
+	// MaxStates bounds reachability-graph generation (0 = srn default).
+	MaxStates int
+	// NoNames skips per-state name strings (recommended at scale).
+	NoNames bool
+}
+
+// Default returns the reference parameterisation for n workstations per
+// side: rare workstation faults against a fast repair unit, and a much
+// rarer backbone fault, keeping the transient mass near the all-up corner.
+func Default(n int) Params {
+	return Params{
+		N:          n,
+		WorkFail:   0.005,
+		WorkRepair: 2.0,
+		BackFail:   0.0002,
+		BackRepair: 2.0,
+		NoNames:    n > 40,
+	}
+}
+
+// States returns the reachable-marking count of the instance: both sides
+// range over 0..N working stations and the backbone is up or down.
+func (p Params) States() int { return 2 * (p.N + 1) * (p.N + 1) }
+
+// place indices of the net.
+const (
+	plLeftUp = iota
+	plLeftDown
+	plRightUp
+	plRightDown
+	plBackUp
+	plBackDown
+	numPlaces
+)
+
+// Net returns the SRN and its initial (pristine) marking.
+func (p Params) Net() (*srn.Net, srn.Marking) {
+	n := &srn.Net{
+		Places: []string{"left_up", "left_down", "right_up", "right_down", "backbone_up", "backbone_down"},
+	}
+	side := func(up, down int, tag string) {
+		n.Transitions = append(n.Transitions,
+			srn.Transition{
+				Name:   tag + "_fail",
+				In:     []srn.Arc{{Place: up, Weight: 1}},
+				Out:    []srn.Arc{{Place: down, Weight: 1}},
+				RateFn: func(m srn.Marking) float64 { return p.WorkFail * float64(m[up]) },
+			},
+			srn.Transition{
+				Name: tag + "_repair",
+				In:   []srn.Arc{{Place: down, Weight: 1}},
+				Out:  []srn.Arc{{Place: up, Weight: 1}},
+				Rate: p.WorkRepair,
+				// The repair unit coordinates over the backbone.
+				Guard: func(m srn.Marking) bool { return m[plBackUp] > 0 },
+			},
+		)
+	}
+	side(plLeftUp, plLeftDown, "left")
+	side(plRightUp, plRightDown, "right")
+	n.Transitions = append(n.Transitions,
+		srn.Transition{
+			Name: "backbone_fail",
+			In:   []srn.Arc{{Place: plBackUp, Weight: 1}},
+			Out:  []srn.Arc{{Place: plBackDown, Weight: 1}},
+			Rate: p.BackFail,
+		},
+		srn.Transition{
+			Name: "backbone_repair",
+			In:   []srn.Arc{{Place: plBackDown, Weight: 1}},
+			Out:  []srn.Arc{{Place: plBackUp, Weight: 1}},
+			Rate: p.BackRepair,
+		},
+	)
+	init := make(srn.Marking, numPlaces)
+	init[plLeftUp] = p.N
+	init[plRightUp] = p.N
+	init[plBackUp] = 1
+	return n, init
+}
+
+// Build explores the family instance into an MRM. The reward of a marking
+// is its number of broken workstations; the labels are
+//
+//	pristine — every workstation and the backbone up
+//	degraded — at least one workstation down
+//	down     — the backbone is down, or either side has no working station
+//	qos      — at least ¾ of each side is working and the backbone is up
+func (p Params) Build() (*mrm.MRM, error) {
+	if p.N < 1 {
+		return nil, fmt.Errorf("cluster: need at least one workstation per side, got N=%d", p.N)
+	}
+	net, init := p.Net()
+	quorum := (3*p.N + 3) / 4 // ceil(3N/4)
+	m, _, err := net.BuildMRM(init, srn.Options{
+		MaxStates: p.MaxStates,
+		NoNames:   p.NoNames,
+		Reward: func(m srn.Marking) float64 {
+			return float64(m[plLeftDown] + m[plRightDown])
+		},
+		Labels: func(m srn.Marking) []string {
+			var ls []string
+			if m[plLeftDown] == 0 && m[plRightDown] == 0 && m[plBackUp] > 0 {
+				ls = append(ls, "pristine")
+			}
+			if m[plLeftDown] > 0 || m[plRightDown] > 0 {
+				ls = append(ls, "degraded")
+			}
+			if m[plBackDown] > 0 || m[plLeftUp] == 0 || m[plRightUp] == 0 {
+				ls = append(ls, "down")
+			}
+			if m[plLeftUp] >= quorum && m[plRightUp] >= quorum && m[plBackUp] > 0 {
+				ls = append(ls, "qos")
+			}
+			return ls
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: N=%d: %w", p.N, err)
+	}
+	return m, nil
+}

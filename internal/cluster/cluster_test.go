@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStatesFormula checks the reachability-graph size against the closed
+// form 2·(N+1)² for several instances, including the scale reference.
+func TestStatesFormula(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 12} {
+		p := Default(n)
+		m, err := p.Build()
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if m.N() != p.States() {
+			t.Errorf("N=%d: %d reachable markings, closed form says %d", n, m.N(), p.States())
+		}
+	}
+	if got := Default(224).States(); got != 101250 {
+		t.Errorf("N=224 closed form %d, want 101250", got)
+	}
+}
+
+// TestLabelPartition checks the label semantics by exhaustive recount: the
+// labels are defined by marking predicates, so their cardinalities over
+// the full (side×side×backbone) grid have closed forms.
+func TestLabelPartition(t *testing.T) {
+	const n = 4
+	m, err := Default(n).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := n + 1
+	counts := map[string]int{
+		// Both sides fully up, backbone up: one marking.
+		"pristine": 1,
+		// At least one workstation down, either backbone state.
+		"degraded": 2 * (grid*grid - 1),
+		// Backbone down (grid²) plus backbone up with a side at zero
+		// (2·grid − 1 markings by inclusion–exclusion).
+		"down": grid*grid + 2*grid - 1,
+		// quorum = ceil(3n/4) = 3 up per side at n = 4, backbone up.
+		"qos": 2 * 2,
+	}
+	for label, want := range counts {
+		if got := m.Label(label).Len(); got != want {
+			t.Errorf("label %q: %d states, want %d", label, got, want)
+		}
+	}
+	// The initial marking is the pristine corner and satisfies qos.
+	init := m.InitialState()
+	if !m.Label("pristine").Contains(init) || !m.Label("qos").Contains(init) {
+		t.Errorf("initial state %d should be pristine and qos", init)
+	}
+	if m.Label("degraded").Contains(init) || m.Label("down").Contains(init) {
+		t.Errorf("initial state %d should be neither degraded nor down", init)
+	}
+}
+
+// TestRewardCountsBrokenStations spot-checks the performability reward on
+// the named small instance: the reward of a state is the number of broken
+// workstations encoded in its marking name.
+func TestRewardCountsBrokenStations(t *testing.T) {
+	m, err := Default(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reward(m.InitialState()) != 0 {
+		t.Errorf("pristine reward %v, want 0", m.Reward(m.InitialState()))
+	}
+	var maxReward float64
+	for s := 0; s < m.N(); s++ {
+		if r := m.Reward(s); r > maxReward {
+			maxReward = r
+		}
+	}
+	if maxReward != 4 {
+		t.Errorf("max reward %v, want 4 (both sides fully broken at N=2)", maxReward)
+	}
+}
+
+// TestNoNamesAtScaleDefault checks the Default knee: big instances skip
+// the per-state name strings, small ones keep them for readable output.
+func TestNoNamesAtScaleDefault(t *testing.T) {
+	if Default(40).NoNames || !Default(41).NoNames {
+		t.Errorf("NoNames knee should sit at N=40: got %v/%v",
+			Default(40).NoNames, Default(41).NoNames)
+	}
+	m, err := Default(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := m.Name(m.InitialState()); !strings.Contains(name, "left_up") {
+		t.Errorf("small instance should carry marking names, got %q", name)
+	}
+}
+
+// TestBuildRejectsBadParams covers the validation path.
+func TestBuildRejectsBadParams(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := (Params{N: n}).Build(); err == nil {
+			t.Errorf("N=%d accepted", n)
+		}
+	}
+	// A MaxStates cap below the reachable count must surface as an error.
+	p := Default(3)
+	p.MaxStates = 5
+	if _, err := p.Build(); err == nil {
+		t.Errorf("MaxStates below the reachable count accepted")
+	}
+}

@@ -19,12 +19,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"github.com/performability/csrl/internal/discretise"
 	"github.com/performability/csrl/internal/duality"
 	"github.com/performability/csrl/internal/erlang"
 	"github.com/performability/csrl/internal/graph"
 	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/lump"
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/numeric"
 	"github.com/performability/csrl/internal/obs"
@@ -64,6 +67,36 @@ func (a Algorithm) String() string {
 	}
 }
 
+// LumpMode controls the automatic lumping pre-pass of the exported
+// checking entry points: before evaluating a formula, the checker computes
+// the ordinary-lumpability quotient respecting only the formula's atomic
+// propositions and evaluates on the quotient, lifting verdicts and
+// probabilities back through the block map. The zero value enables the
+// pre-pass, so existing Options literals pick it up automatically;
+// LumpOff restores direct evaluation on the full model.
+type LumpMode int
+
+const (
+	// LumpAuto is the default: the pre-pass is enabled.
+	LumpAuto LumpMode = iota
+	// LumpOn enables the pre-pass explicitly (same behaviour as LumpAuto).
+	LumpOn
+	// LumpOff disables the pre-pass; formulas are checked on the full model.
+	LumpOff
+)
+
+// enabled reports whether the mode turns the pre-pass on.
+func (l LumpMode) enabled() bool { return l != LumpOff }
+
+// lumpMaxRounds caps the refinement rounds of the automatic pre-pass.
+// Refinement needs as many rounds as the distance over which rate
+// differences must propagate to separate states — up to O(n) on chains —
+// while each round costs a full pass over the rate matrix. A quotient
+// that has not stabilised within the cap is abandoned and the formula is
+// checked unlumped: the pre-pass must never cost more than the sweep time
+// it could save. Explicit lump.QuotientRespecting calls remain uncapped.
+const lumpMaxRounds = 64
+
 // Options configures the checker.
 type Options struct {
 	// P3 selects the procedure for time- and reward-bounded until.
@@ -84,6 +117,18 @@ type Options struct {
 	// sweeps (see transient.Options.SteadyDetect). The zero value is on;
 	// SteadyOff restores the full Fox–Glynn summation.
 	SteadyDetect transient.SteadyMode
+	// Lump controls the automatic formula-dependent lumping pre-pass of
+	// the exported entry points (see LumpMode). The zero value is on.
+	Lump LumpMode
+	// Truncate, when positive, enables state-drop truncation in the
+	// forward uniformisation sweeps (see transient.Options.Truncate) and
+	// unlocks the initial-state fast path of Check for top-level
+	// time-bounded P-until formulas, which evaluates a forward sweep from
+	// the initial states instead of a backward sweep over all states. The
+	// dropped mass is charged to the truncation/state-drop ledger term
+	// inside Epsilon. Zero (the default) keeps every result bitwise
+	// unchanged.
+	Truncate float64
 	// Solve configures the linear solver for unbounded until and
 	// steady-state computations.
 	Solve numeric.SolveOptions
@@ -169,8 +214,28 @@ func (c *Checker) NumericsReport() *obs.Report {
 }
 
 // Sat computes the satisfaction set Sat(Φ) by the bottom-up traversal of
-// the parse tree described in Section 3.
+// the parse tree described in Section 3. Unless Options.Lump is off, a
+// lumping pre-pass first quotients the model with respect to the formula's
+// atomic propositions (lumpFor) and the traversal runs on the quotient;
+// the returned set is lifted back to the original states.
 func (c *Checker) Sat(f logic.StateFormula) (*mrm.StateSet, error) {
+	q, lr, err := c.lumpFor(logic.Atoms(f))
+	if err != nil {
+		return nil, err
+	}
+	sat, err := q.sat(f)
+	if err != nil {
+		return nil, err
+	}
+	if lr == nil {
+		return sat, nil
+	}
+	return lr.LiftSet(sat), nil
+}
+
+// sat is the traversal body of Sat, running on this checker's own model
+// with no lumping indirection — the form every internal call site uses.
+func (c *Checker) sat(f logic.StateFormula) (*mrm.StateSet, error) {
 	n := c.m.N()
 	switch t := f.(type) {
 	case logic.True:
@@ -180,37 +245,37 @@ func (c *Checker) Sat(f logic.StateFormula) (*mrm.StateSet, error) {
 	case logic.Atomic:
 		return c.m.Label(t.Name), nil
 	case logic.Not:
-		sub, err := c.Sat(t.Sub)
+		sub, err := c.sat(t.Sub)
 		if err != nil {
 			return nil, err
 		}
 		return sub.Complement(), nil
 	case logic.And:
-		l, err := c.Sat(t.Left)
+		l, err := c.sat(t.Left)
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.Sat(t.Right)
+		r, err := c.sat(t.Right)
 		if err != nil {
 			return nil, err
 		}
 		return l.Intersect(r), nil
 	case logic.Or:
-		l, err := c.Sat(t.Left)
+		l, err := c.sat(t.Left)
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.Sat(t.Right)
+		r, err := c.sat(t.Right)
 		if err != nil {
 			return nil, err
 		}
 		return l.Union(r), nil
 	case logic.Implies:
-		l, err := c.Sat(t.Left)
+		l, err := c.sat(t.Left)
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.Sat(t.Right)
+		r, err := c.sat(t.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +284,7 @@ func (c *Checker) Sat(f logic.StateFormula) (*mrm.StateSet, error) {
 		if t.Query {
 			return nil, fmt.Errorf("%w: P=? query has no satisfaction set; use Values", ErrUnsupported)
 		}
-		probs, err := c.PathProb(t.Path)
+		probs, err := c.pathProb(t.Path)
 		if err != nil {
 			return nil, err
 		}
@@ -232,12 +297,13 @@ func (c *Checker) Sat(f logic.StateFormula) (*mrm.StateSet, error) {
 				set.Add(s)
 			}
 		}
+		c.pool.Put(probs)
 		return set, nil
 	case logic.Steady:
 		if t.Query {
 			return nil, fmt.Errorf("%w: S=? query has no satisfaction set; use Values", ErrUnsupported)
 		}
-		probs, err := c.SteadyProb(t.Sub)
+		probs, err := c.steadyProb(t.Sub)
 		if err != nil {
 			return nil, err
 		}
@@ -247,6 +313,7 @@ func (c *Checker) Sat(f logic.StateFormula) (*mrm.StateSet, error) {
 				set.Add(s)
 			}
 		}
+		c.pool.Put(probs)
 		return set, nil
 	default:
 		return nil, fmt.Errorf("core: unknown state formula %T", f)
@@ -255,15 +322,36 @@ func (c *Checker) Sat(f logic.StateFormula) (*mrm.StateSet, error) {
 
 // Check evaluates a bounded formula against the model's initial
 // distribution: it holds when every state with positive initial probability
-// satisfies it.
+// satisfies it. The lumping pre-pass applies as in Sat; no lift-back is
+// needed, because a block carries positive initial mass exactly when one of
+// its states does and inherits their common verdict.
 func (c *Checker) Check(f logic.StateFormula) (bool, error) {
+	q, _, err := c.lumpFor(logic.Atoms(f))
+	if err != nil {
+		return false, err
+	}
+	return q.check(f)
+}
+
+// check is the body of Check on this checker's own model. With truncation
+// configured it first tries the initial-state fast path, which answers a
+// top-level time-bounded P-until from the initial states alone by forward
+// sweeps — without computing the satisfaction set of the whole space.
+func (c *Checker) check(f logic.StateFormula) (bool, error) {
+	holds, ok, err := c.checkInitFast(f)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		return holds, nil
+	}
 	span := c.opts.Obs.StartSpan("core.sat")
-	sat, err := c.Sat(f)
+	sat, err := c.sat(f)
 	span.End()
 	if err != nil {
 		return false, err
 	}
-	for s, p := range c.m.Init() {
+	for s, p := range c.m.InitView() {
 		if p > 0 && !sat.Contains(s) {
 			return false, nil
 		}
@@ -271,14 +359,80 @@ func (c *Checker) Check(f logic.StateFormula) (bool, error) {
 	return true, nil
 }
 
+// checkInitFast answers Check for a top-level P▷◁b[Φ U^[0,t] Ψ] (reward
+// unbounded) when Options.Truncate is on: instead of one backward sweep
+// producing Pr_s(φ) for all n start states, it runs one truncated forward
+// sweep per positive-mass initial state via transient.TimeBoundedUntilFrom.
+// A forward iterate is a sub-distribution, which is what makes truncation
+// sound — and on models whose mass stays near the initial states, the
+// active window makes the sweep cost proportional to the window, not to n.
+// ok reports whether the fast path applied; when false, the caller falls
+// back to the satisfaction-set route.
+func (c *Checker) checkInitFast(f logic.StateFormula) (holds, ok bool, err error) {
+	if c.opts.Truncate <= 0 {
+		return false, false, nil
+	}
+	p, isProb := f.(logic.Prob)
+	if !isProb || p.Query {
+		return false, false, nil
+	}
+	u, isUntil := p.Path.(logic.Until)
+	if !isUntil || !u.Time.Valid() || !u.Reward.Valid() {
+		return false, false, nil
+	}
+	if u.Time.IsUnbounded() || !u.Time.StartsAtZero() || !u.Reward.IsUnbounded() {
+		return false, false, nil
+	}
+	phi, err := c.sat(u.Left)
+	if err != nil {
+		return false, false, err
+	}
+	psi, err := c.sat(u.Right)
+	if err != nil {
+		return false, false, err
+	}
+	for s, alpha := range c.m.InitView() {
+		if alpha <= 0 {
+			continue
+		}
+		pr, err := transient.TimeBoundedUntilFrom(c.m, phi, psi, s, u.Time.Hi, c.transientOpts())
+		if err != nil {
+			return false, false, err
+		}
+		if p.Complement {
+			pr = 1 - pr
+		}
+		if !p.Op.Compare(pr, p.Bound) {
+			return false, true, nil
+		}
+	}
+	return true, true, nil
+}
+
 // Values returns the per-state numeric value behind a probabilistic or
 // steady-state formula: the path probability for P-formulas (query or
 // bounded — the bound is ignored) and the long-run probability for
-// S-formulas. Boolean-level formulas have no numeric value.
+// S-formulas. Boolean-level formulas have no numeric value. The lumping
+// pre-pass applies as in Sat — every state of a block receives its block's
+// value — and the returned slice is a plain allocation owned by the caller.
 func (c *Checker) Values(f logic.StateFormula) ([]float64, error) {
+	q, lr, err := c.lumpFor(logic.Atoms(f))
+	if err != nil {
+		return nil, err
+	}
+	vals, err := q.values(f)
+	if err != nil {
+		return nil, err
+	}
+	return q.liftOut(lr, vals), nil
+}
+
+// values is the body of Values on this checker's own model. The returned
+// buffer may be pool-borrowed; the caller puts it back.
+func (c *Checker) values(f logic.StateFormula) ([]float64, error) {
 	switch t := f.(type) {
 	case logic.Prob:
-		probs, err := c.PathProb(t.Path)
+		probs, err := c.pathProb(t.Path)
 		if err != nil {
 			return nil, err
 		}
@@ -289,45 +443,134 @@ func (c *Checker) Values(f logic.StateFormula) ([]float64, error) {
 		}
 		return probs, nil
 	case logic.Steady:
-		return c.SteadyProb(t.Sub)
+		return c.steadyProb(t.Sub)
 	default:
 		return nil, fmt.Errorf("%w: %s is not a P=?/S=? query", ErrUnsupported, f)
 	}
 }
 
-// PathProb returns Pr_s(φ) for every state s. The returned slice is a
-// plain allocation owned by the caller: the internal procedures hand back
-// buffers borrowed from the checker's vector pool, and this exported
-// boundary copies them out and checks the borrowed buffer back in, so
-// callers outside the package never hold (or leak) pooled memory.
+// PathProb returns Pr_s(φ) for every state s. The lumping pre-pass applies
+// as in Sat, respecting the atoms of the path formula's state subformulas.
+// The returned slice is a plain allocation owned by the caller: the
+// internal procedures hand back buffers borrowed from the checker's vector
+// pool, and this exported boundary copies (or lifts) them out and checks
+// the borrowed buffer back in, so callers outside the package never hold
+// (or leak) pooled memory.
 func (c *Checker) PathProb(f logic.PathFormula) ([]float64, error) {
-	var vals []float64
-	var err error
-	switch t := f.(type) {
-	case logic.Next:
-		vals, err = c.probNext(t)
-	case logic.Until:
-		vals, err = c.probUntil(t)
-	default:
-		return nil, fmt.Errorf("core: unknown path formula %T", f)
-	}
+	q, lr, err := c.lumpFor(logic.PathAtoms(f))
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(vals))
-	copy(out, vals)
+	vals, err := q.pathProb(f)
+	if err != nil {
+		return nil, err
+	}
+	return q.liftOut(lr, vals), nil
+}
+
+// pathProb is the body of PathProb on this checker's own model. The
+// returned buffer may be pool-borrowed; the caller puts it back.
+func (c *Checker) pathProb(f logic.PathFormula) ([]float64, error) {
+	switch t := f.(type) {
+	case logic.Next:
+		return c.probNext(t)
+	case logic.Until:
+		return c.probUntil(t)
+	default:
+		return nil, fmt.Errorf("core: unknown path formula %T", f)
+	}
+}
+
+// liftOut converts an internal (possibly pool-borrowed) result vector into
+// the caller-owned allocation of the exported boundary: lifted through the
+// lump result when the pre-pass ran, copied verbatim otherwise.
+func (c *Checker) liftOut(lr *lump.Result, vals []float64) []float64 {
+	var out []float64
+	if lr != nil {
+		out = lr.Lift(vals)
+	} else {
+		out = make([]float64, len(vals))
+		copy(out, vals)
+	}
 	c.pool.Put(vals)
-	return out, nil
+	return out
 }
 
 // SteadyProb returns the long-run probability of residing in Sat(Φ) for
-// every start state.
+// every start state. The lumping pre-pass applies as in Sat: ordinary
+// lumpability makes the block process Markov for every start state, so the
+// long-run fraction spent in a union of blocks lifts exactly.
 func (c *Checker) SteadyProb(f logic.StateFormula) ([]float64, error) {
-	sat, err := c.Sat(f)
+	q, lr, err := c.lumpFor(logic.Atoms(f))
+	if err != nil {
+		return nil, err
+	}
+	vals, err := q.steadyProb(f)
+	if err != nil {
+		return nil, err
+	}
+	return q.liftOut(lr, vals), nil
+}
+
+// steadyProb is the body of SteadyProb on this checker's own model.
+func (c *Checker) steadyProb(f logic.StateFormula) ([]float64, error) {
+	sat, err := c.sat(f)
 	if err != nil {
 		return nil, err
 	}
 	return steady.Probabilities(c.m, sat)
+}
+
+// lumpFor runs the automatic lumping pre-pass for a formula with the given
+// atomic propositions: it returns the checker to evaluate on and, when the
+// pre-pass produced a proper quotient, the lump result to lift verdicts
+// back through (nil when evaluation runs on c itself). Outcomes are
+// memoised per sorted atom set, so one quotient serves every formula over
+// the same propositions; the quotient sub-checker owns its own memo and
+// pool, keyed to the quotient model, and shares the Obs recorder.
+func (c *Checker) lumpFor(atoms []string) (*Checker, *lump.Result, error) {
+	if !c.opts.Lump.enabled() || c.memo == nil || c.m.HasImpulses() {
+		return c, nil, nil
+	}
+	sort.Strings(atoms)
+	key := strings.Join(atoms, "\x00")
+	entry := c.memo.lump(key, func() *lumpEntry { return c.buildLump(atoms) })
+	if entry == nil || entry.sub == nil {
+		return c, nil, nil
+	}
+	return entry.sub, entry.res, nil
+}
+
+// buildLump computes one pre-pass outcome: the capped quotient and its
+// sub-checker, or a zero entry when lumping declines — capped refinement
+// (ErrRoundsExceeded) or a trivial quotient, where the indirection would
+// cost without saving. Both declines are safe: the formula is simply
+// checked on the full model.
+func (c *Checker) buildLump(atoms []string) *lumpEntry {
+	span := c.opts.Obs.StartSpan("core.lump")
+	res, err := lump.QuotientLimited(c.m, atoms, lumpMaxRounds)
+	span.End()
+	if err != nil {
+		if c.opts.Obs != nil {
+			c.opts.Obs.Counter("lump.declined").Inc()
+		}
+		return &lumpEntry{}
+	}
+	if c.opts.Obs != nil {
+		c.opts.Obs.Gauge("lump.states").SetMax(float64(c.m.N()))
+		c.opts.Obs.Gauge("lump.blocks").SetMax(float64(res.Model.N()))
+	}
+	if res.Model.N() >= c.m.N() {
+		if c.opts.Obs != nil {
+			c.opts.Obs.Counter("lump.trivial").Inc()
+		}
+		return &lumpEntry{}
+	}
+	sub := New(res.Model, c.opts)
+	// The quotient is already coarsest for these atoms; re-lumping inside
+	// the sub-checker could only waste a refinement pass.
+	sub.opts.Lump = LumpOff
+	return &lumpEntry{res: res, sub: sub}
 }
 
 // probNext computes Pr_s(X^I_J Φ) in closed form: the single jump must land
@@ -339,7 +582,7 @@ func (c *Checker) probNext(nx logic.Next) ([]float64, error) {
 	if !nx.Time.Valid() || !nx.Reward.Valid() {
 		return nil, fmt.Errorf("%w: invalid interval in %s", ErrUnsupported, nx)
 	}
-	sat, err := c.Sat(nx.Sub)
+	sat, err := c.sat(nx.Sub)
 	if err != nil {
 		return nil, err
 	}
@@ -400,11 +643,11 @@ func (c *Checker) probUntil(u logic.Until) ([]float64, error) {
 	if !u.Time.Valid() || !u.Reward.Valid() {
 		return nil, fmt.Errorf("%w: invalid interval in %s", ErrUnsupported, u)
 	}
-	phi, err := c.Sat(u.Left)
+	phi, err := c.sat(u.Left)
 	if err != nil {
 		return nil, err
 	}
-	psi, err := c.Sat(u.Right)
+	psi, err := c.sat(u.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -448,6 +691,7 @@ func (c *Checker) transientOpts() transient.Options {
 		Epsilon:      c.opts.Epsilon,
 		Workers:      c.opts.Workers,
 		SteadyDetect: c.opts.SteadyDetect,
+		Truncate:     c.opts.Truncate,
 		Pool:         c.pool,
 		Obs:          c.opts.Obs,
 	}
@@ -721,6 +965,7 @@ func (c *Checker) untilTimeRewardBatch(phi, psi *mrm.StateSet, t float64, rs []f
 			Epsilon:      c.opts.Epsilon,
 			Workers:      c.opts.Workers,
 			SteadyDetect: c.opts.SteadyDetect,
+			Truncate:     c.opts.Truncate,
 			Cache:        cache,
 			Pool:         c.pool,
 			Obs:          c.opts.Obs,

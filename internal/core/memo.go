@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"github.com/performability/csrl/internal/lump"
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/numeric"
 	"github.com/performability/csrl/internal/sparse"
@@ -39,6 +40,7 @@ type memo struct {
 	reductions  map[string]*mrm.UntilReduction         // guarded by mu
 	uniformised map[uniKey]*sparse.CSR                 // guarded by mu
 	poisson     map[poissonKey]*numeric.PoissonWeights // guarded by mu
+	lumps       map[string]*lumpEntry                  // guarded by mu
 	hits        int64                                  // guarded by mu
 	misses      int64                                  // guarded by mu
 }
@@ -48,7 +50,42 @@ func newMemo() *memo {
 		reductions:  make(map[string]*mrm.UntilReduction),
 		uniformised: make(map[uniKey]*sparse.CSR),
 		poisson:     make(map[poissonKey]*numeric.PoissonWeights),
+		lumps:       make(map[string]*lumpEntry),
 	}
+}
+
+// lumpEntry is one memoised outcome of the automatic lumping pre-pass for
+// a respected-atom set: the quotient and the sub-checker evaluating on it,
+// or — when the pre-pass declined (impulse rewards, capped refinement,
+// trivial quotient) — a zero entry recording the decision so the pre-pass
+// is not retried for the same atoms.
+type lumpEntry struct {
+	res *lump.Result
+	sub *Checker
+}
+
+// lump returns the memoised pre-pass outcome for the atom key, building it
+// on a miss. A nil memo returns nil: the zero Checker literal checks
+// unlumped rather than re-quotienting on every call. The entry's quotient
+// model anchors the sub-checker's own memo, so every downstream cache key
+// incorporates the quotient by construction.
+func (c *memo) lump(key string, build func() *lumpEntry) *lumpEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.lumps[key]; ok {
+		c.hits++
+		return e
+	}
+	c.misses++
+	e := build()
+	if len(c.lumps) >= memoCap {
+		c.lumps = make(map[string]*lumpEntry)
+	}
+	c.lumps[key] = e
+	return e
 }
 
 // Reduction returns the Theorem 1 reduction for (phi, psi) over m,

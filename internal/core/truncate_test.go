@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/obs"
+)
+
+// TestCheckTruncatedAgreesWithDense pins the semantics of the truncated
+// Check fast path: for every formula shape — whether it qualifies for the
+// forward single-state sweep or falls back to the dense Sat-based check —
+// the verdict must match a truncation-free checker. The window gauge
+// separates the two routes: sweepForwardTruncated sets it whenever it
+// runs, so its presence proves the fast path engaged exactly for the
+// eligible time-bounded until formulas.
+func TestCheckTruncatedAgreesWithDense(t *testing.T) {
+	m := lumpTestModel(t)
+	cases := []struct {
+		name    string
+		formula string
+		fast    bool // expected to take the forward-sweep route
+	}{
+		{"until holds", "P<=0.9 [ !down U{t<=2} down ]", true},
+		{"until fails", "P>=0.99 [ !down U{t<=2} down ]", true},
+		{"eventually", "P>0.01 [ F{t<=1} degraded ]", true},
+		{"strict upper", "P<1.0 [ !down U{t<=2} down ]", true},
+		{"reward-bounded falls back", "P>0.001 [ qos U{t<=2, r<=3} down ]", false},
+		{"interval time falls back", "P>=0.0 [ !down U{t in [1,2]} down ]", false},
+		{"steady falls back", "S>=0.0 [ qos ]", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := logic.MustParse(tc.formula)
+
+			denseOpts := DefaultOptions()
+			denseOpts.Lump = LumpOff
+			dense, err := New(m, denseOpts).Check(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			truncOpts := denseOpts
+			truncOpts.Truncate = 1e-13
+			truncOpts.Obs = obs.New()
+			trunc := New(m, truncOpts)
+			got, err := trunc.Check(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != dense {
+				t.Errorf("truncated verdict %v, dense %v", got, dense)
+			}
+			rep := trunc.NumericsReport()
+			_, swept := rep.Gauges["truncation.active-window"]
+			if swept != tc.fast {
+				t.Errorf("forward sweep ran = %v, want %v; gauges: %v", swept, tc.fast, rep.Gauges)
+			}
+			if !rep.BudgetOK {
+				t.Errorf("budget %g exceeds epsilon", rep.BudgetTotal)
+			}
+		})
+	}
+}

@@ -106,7 +106,7 @@ func ScaleRewards(m *mrm.MRM, r, factor float64) (*mrm.MRM, float64, error) {
 			}
 		}
 	}
-	for s, p := range m.Init() {
+	for s, p := range m.InitView() {
 		if p > 0 {
 			b.InitialProb(s, p)
 		}

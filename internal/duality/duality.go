@@ -53,7 +53,7 @@ func Dual(m *mrm.MRM) (*mrm.MRM, error) {
 			}
 		}
 	}
-	init := m.Init()
+	init := m.InitView()
 	for s, p := range init {
 		if p > 0 {
 			b.InitialProb(s, p)

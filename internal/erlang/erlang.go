@@ -74,7 +74,7 @@ func Expand(m *mrm.MRM, r float64, k int) (*Expansion, error) {
 	}
 	b.Name(barrier, "barrier")
 	// Initial distribution: original α placed in phase 0.
-	for s, p := range m.Init() {
+	for s, p := range m.InitView() {
 		if p > 0 {
 			b.InitialProb(s*k+0, p)
 		}
@@ -167,7 +167,7 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (floa
 		return 0, err
 	}
 	var v float64
-	for s, p := range m.Init() {
+	for s, p := range m.InitView() {
 		v += p * per[s]
 	}
 	return v, nil

@@ -306,6 +306,13 @@ func Walk(f StateFormula, fn func(StateFormula)) {
 	}
 }
 
+// PathAtoms returns the distinct atomic propositions occurring in the
+// state subformulas of a path formula — the respected-atom set for
+// formula-dependent lumping of a bare path query.
+func PathAtoms(f PathFormula) []string {
+	return Atoms(Prob{Path: f})
+}
+
 // Atoms returns the distinct atomic propositions occurring in f.
 func Atoms(f StateFormula) []string {
 	seen := make(map[string]bool)

@@ -7,19 +7,30 @@
 // exactly the same CSRL formulas (over the preserved propositions) as the
 // original, with every state inheriting the verdict of its block.
 //
-// The implementation is a straightforward partition refinement: start from
-// the (labels, reward) signature partition and split blocks by their
-// aggregate-rate signature vectors until a fixpoint is reached.
+// The implementation is a partition refinement: start from the (labels,
+// reward, initial-mass) signature partition and split blocks by their
+// aggregate-rate signature vectors until a fixpoint is reached. Signatures
+// are hashed as integers (block IDs and float64 bit patterns through an
+// FNV-1a mix) rather than formatted into strings; hash buckets are
+// verified by exact signature comparison, so a hash collision can slow a
+// split down but can never merge two non-bisimilar states.
 package lump
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
-	"strconv"
-	"strings"
 
 	"github.com/performability/csrl/internal/mrm"
 )
+
+// ErrRoundsExceeded is returned by QuotientLimited when the refinement has
+// not reached a fixpoint within the allowed number of rounds. Each round
+// strictly refines the partition, so hitting the limit means the quotient
+// is close to trivial anyway; callers use the error to fall back to the
+// unlumped model rather than pay O(n) rounds for no reduction.
+var ErrRoundsExceeded = errors.New("lump: refinement round limit exceeded")
 
 // Result is a lumped model together with the surjection onto its blocks.
 type Result struct {
@@ -43,119 +54,187 @@ func Quotient(m *mrm.MRM) (*Result, error) {
 // obtain the coarsest quotient that is exact for that formula. Propositions
 // outside the list may be merged away and are absent from the quotient.
 func QuotientRespecting(m *mrm.MRM, respect []string) (*Result, error) {
+	return QuotientLimited(m, respect, 0)
+}
+
+// QuotientLimited is QuotientRespecting with a cap on refinement rounds:
+// maxRounds > 0 returns ErrRoundsExceeded instead of continuing past that
+// many splitting rounds (a partition refined r times has at least r+1
+// blocks, so a cap of r only ever abandons quotients with more than r
+// blocks). maxRounds ≤ 0 refines to the fixpoint unconditionally.
+func QuotientLimited(m *mrm.MRM, respect []string, maxRounds int) (*Result, error) {
 	if m.HasImpulses() {
 		return nil, fmt.Errorf("lump: %w", mrm.ErrImpulsesUnsupported)
 	}
 	n := m.N()
 	labels := append([]string(nil), respect...)
 	sort.Strings(labels)
+	init := m.InitView()
+	rates := m.Rates()
 
 	// Initial partition: identical label sets, rewards and initial-state
-	// status. (Initial probability masses are summed per block, which is
+	// masses. (Initial probability masses are summed per block, which is
 	// only faithful if blocks do not mix initial and non-initial states
 	// with different masses; keeping the initial signature avoids the
-	// common pitfall.)
-	blockOf := make([]int, n)
-	{
-		sig := make(map[string]int)
-		init := m.Init()
+	// common pitfall.) Per-state label membership is packed into a bitset
+	// both for hashing and for the exact collision check.
+	words := (len(labels) + 63) / 64
+	var labelBits []uint64
+	if words > 0 {
+		labelBits = make([]uint64, n*words)
 		for s := 0; s < n; s++ {
-			var b strings.Builder
-			for _, l := range labels {
+			for li, l := range labels {
 				if m.HasLabel(s, l) {
-					b.WriteString(l)
-					b.WriteByte(';')
+					labelBits[s*words+li/64] |= 1 << uint(li%64)
 				}
 			}
-			b.WriteString(strconv.FormatFloat(m.Reward(s), 'g', -1, 64))
-			b.WriteByte('|')
-			b.WriteString(strconv.FormatFloat(init[s], 'g', -1, 64))
-			key := b.String()
-			id, ok := sig[key]
-			if !ok {
-				id = len(sig)
-				sig[key] = id
+		}
+	}
+	sameInitial := func(s, r int) bool {
+		if math.Float64bits(m.Reward(s)) != math.Float64bits(m.Reward(r)) {
+			return false
+		}
+		if math.Float64bits(init[s]) != math.Float64bits(init[r]) {
+			return false
+		}
+		for w := 0; w < words; w++ {
+			if labelBits[s*words+w] != labelBits[r*words+w] {
+				return false
+			}
+		}
+		return true
+	}
+	blockOf := make([]int, n)
+	numBlocks := 0
+	{
+		type cand struct{ id, rep int }
+		buckets := make(map[uint64][]cand)
+		for s := 0; s < n; s++ {
+			h := uint64(fnvOffset64)
+			for w := 0; w < words; w++ {
+				h = hashWord(h, labelBits[s*words+w])
+			}
+			h = hashWord(h, math.Float64bits(m.Reward(s)))
+			h = hashWord(h, math.Float64bits(init[s]))
+			id := -1
+			for _, c := range buckets[h] {
+				if sameInitial(s, c.rep) {
+					id = c.id
+					break
+				}
+			}
+			if id < 0 {
+				id = numBlocks
+				numBlocks++
+				buckets[h] = append(buckets[h], cand{id: id, rep: s})
 			}
 			blockOf[s] = id
 		}
 	}
 
 	// Refinement: split blocks by the aggregate rate into every block.
-	for {
-		type stateSig struct {
-			state int
-			key   string
+	// Aggregate rates accumulate into a dense scratch indexed by block ID
+	// with an epoch stamp marking the touched entries, so no per-state map
+	// is allocated; the touched IDs are sorted to make the signature (and
+	// hence the new block numbering) deterministic.
+	acc := make([]float64, n)
+	stamp := make([]int, n)
+	epoch := 0
+	var sig []sigEntry
+	cnt := make([]int, n+1)
+	order := make([]int, n)
+	next := make([]int, n)
+	type subBlock struct {
+		id  int
+		sig []sigEntry
+	}
+	buckets := make(map[uint64][]subBlock)
+	for round := 0; ; round++ {
+		if maxRounds > 0 && round >= maxRounds {
+			return nil, ErrRoundsExceeded
+		}
+		// Group states by current block: order holds the states of block b
+		// at order[cnt[b]:cnt[b+1]], in ascending state order.
+		for b := 0; b <= numBlocks; b++ {
+			cnt[b] = 0
+		}
+		for _, b := range blockOf {
+			cnt[b+1]++
+		}
+		for b := 1; b <= numBlocks; b++ {
+			cnt[b] += cnt[b-1]
+		}
+		pos := append([]int(nil), cnt[:numBlocks]...)
+		for s := 0; s < n; s++ {
+			b := blockOf[s]
+			order[pos[b]] = s
+			pos[b]++
 		}
 		changed := false
-		// Group states by current block.
-		byBlock := make(map[int][]int)
-		for s, b := range blockOf {
-			byBlock[b] = append(byBlock[b], s)
-		}
-		next := make([]int, n)
 		nextID := 0
-		blockIDs := make([]int, 0, len(byBlock))
-		for b := range byBlock {
-			blockIDs = append(blockIDs, b)
-		}
-		sort.Ints(blockIDs)
-		for _, b := range blockIDs {
-			states := byBlock[b]
-			sigs := make([]stateSig, 0, len(states))
+		for b := 0; b < numBlocks; b++ {
+			states := order[cnt[b]:cnt[b+1]]
+			clear(buckets)
+			subCount := 0
 			for _, s := range states {
 				// Ordinary lumpability constrains the aggregate rate into
 				// every OTHER block; internal transitions are invisible at
 				// the block level and excluded from the signature.
-				agg := make(map[int]float64)
-				m.Rates().Row(s, func(t int, v float64) {
-					if v != 0 && blockOf[t] != b {
-						agg[blockOf[t]] += v
+				epoch++
+				sig = sig[:0]
+				cols, vals := rates.RowRange(s)
+				for k, t := range cols {
+					v := vals[k]
+					tb := blockOf[t]
+					if v == 0 || tb == b {
+						continue
 					}
-				})
-				keys := make([]int, 0, len(agg))
-				for k := range agg {
-					keys = append(keys, k)
+					if stamp[tb] != epoch {
+						stamp[tb] = epoch
+						acc[tb] = 0
+						sig = append(sig, sigEntry{block: tb})
+					}
+					acc[tb] += v
 				}
-				sort.Ints(keys)
-				var sb strings.Builder
-				for _, k := range keys {
-					fmt.Fprintf(&sb, "%d:%s;", k, strconv.FormatFloat(agg[k], 'g', -1, 64))
+				sort.Slice(sig, func(i, j int) bool { return sig[i].block < sig[j].block })
+				h := uint64(fnvOffset64)
+				for i := range sig {
+					sig[i].rate = acc[sig[i].block]
+					h = hashWord(h, uint64(sig[i].block))
+					h = hashWord(h, math.Float64bits(sig[i].rate))
 				}
-				sigs = append(sigs, stateSig{state: s, key: sb.String()})
-			}
-			seen := make(map[string]int)
-			for _, ss := range sigs {
-				id, ok := seen[ss.key]
-				if !ok {
+				id := -1
+				for _, c := range buckets[h] {
+					if sigEqual(c.sig, sig) {
+						id = c.id
+						break
+					}
+				}
+				if id < 0 {
 					id = nextID
-					seen[ss.key] = id
 					nextID++
+					subCount++
+					buckets[h] = append(buckets[h], subBlock{id: id, sig: append([]sigEntry(nil), sig...)})
 				}
-				next[ss.state] = id
+				next[s] = id
 			}
-			if len(seen) > 1 {
+			if subCount > 1 {
 				changed = true
 			}
 		}
-		blockOf = next
+		copy(blockOf, next)
+		numBlocks = nextID
 		if !changed {
 			break
 		}
 	}
 
 	// Build the quotient.
-	numBlocks := 0
-	for _, b := range blockOf {
-		if b+1 > numBlocks {
-			numBlocks = b + 1
-		}
-	}
 	blocks := make([][]int, numBlocks)
 	for s, b := range blockOf {
 		blocks[b] = append(blocks[b], s)
 	}
 	qb := mrm.NewBuilder(numBlocks)
-	init := m.Init()
 	for b, members := range blocks {
 		rep := members[0]
 		qb.Reward(b, m.Reward(rep))
@@ -172,20 +251,26 @@ func QuotientRespecting(m *mrm.MRM, respect []string) (*Result, error) {
 		if mass > 0 {
 			qb.InitialProb(b, mass)
 		}
-		agg := make(map[int]float64)
-		m.Rates().Row(rep, func(t int, v float64) {
-			if v != 0 {
-				agg[blockOf[t]] += v
+		epoch++
+		var targets []int
+		cols, vals := rates.RowRange(rep)
+		for k, t := range cols {
+			v := vals[k]
+			if v == 0 {
+				continue
 			}
-		})
-		targets := make([]int, 0, len(agg))
-		for t := range agg {
-			targets = append(targets, t)
+			tb := blockOf[t]
+			if stamp[tb] != epoch {
+				stamp[tb] = epoch
+				acc[tb] = 0
+				targets = append(targets, tb)
+			}
+			acc[tb] += v
 		}
 		sort.Ints(targets)
 		for _, t := range targets {
 			if t != b {
-				qb.Rate(b, t, agg[t])
+				qb.Rate(b, t, acc[t])
 			}
 			// Aggregate rates within the block are self-loops of the
 			// quotient CTMC; they are unobservable and dropped.
@@ -198,11 +283,59 @@ func QuotientRespecting(m *mrm.MRM, respect []string) (*Result, error) {
 	return &Result{Model: qm, BlockOf: blockOf, Blocks: blocks}, nil
 }
 
+// sigEntry is one (target block, aggregate rate) component of a state's
+// refinement signature.
+type sigEntry struct {
+	block int
+	rate  float64
+}
+
+// sigEqual compares two signatures exactly (bit equality on rates), the
+// collision check behind the hash buckets.
+func sigEqual(a, b []sigEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].block != b[i].block || math.Float64bits(a[i].rate) != math.Float64bits(b[i].rate) {
+			return false
+		}
+	}
+	return true
+}
+
+// FNV-1a 64-bit, folded over the bytes of each 64-bit word.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime64
+		w >>= 8
+	}
+	return h
+}
+
 // Lift expands per-block values back to per-state values.
 func (r *Result) Lift(blockValues []float64) []float64 {
 	out := make([]float64, len(r.BlockOf))
 	for s, b := range r.BlockOf {
 		out[s] = blockValues[b]
+	}
+	return out
+}
+
+// LiftSet expands a set of blocks back to the set of original states whose
+// block is in it.
+func (r *Result) LiftSet(blockSet *mrm.StateSet) *mrm.StateSet {
+	out := mrm.NewStateSet(len(r.BlockOf))
+	for s, b := range r.BlockOf {
+		if blockSet.Contains(b) {
+			out.Add(s)
+		}
 	}
 	return out
 }

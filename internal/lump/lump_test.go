@@ -1,4 +1,4 @@
-package lump
+package lump_test
 
 import (
 	"errors"
@@ -7,6 +7,7 @@ import (
 
 	"github.com/performability/csrl/internal/core"
 	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/lump"
 	"github.com/performability/csrl/internal/mrm"
 	"github.com/performability/csrl/internal/srn"
 	"github.com/performability/csrl/internal/transient"
@@ -30,7 +31,7 @@ func symmetricModel(t *testing.T) *mrm.MRM {
 
 func TestQuotientMergesSymmetricStates(t *testing.T) {
 	m := symmetricModel(t)
-	res, err := Quotient(m)
+	res, err := lump.Quotient(m)
 	if err != nil {
 		t.Fatalf("Quotient: %v", err)
 	}
@@ -64,7 +65,7 @@ func TestQuotientRefinesOnRates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Quotient(m)
+	res, err := lump.Quotient(m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestQuotientRefinesOnRates(t *testing.T) {
 
 func TestQuotientPreservesTransientProbabilities(t *testing.T) {
 	m := symmetricModel(t)
-	res, err := Quotient(m)
+	res, err := lump.Quotient(m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestQuotientPreservesCSRLOnCluster(t *testing.T) {
 	// Formula-dependent lumping: respect only the atoms the formula uses;
 	// the place-derived labels (lu, ld, …) would otherwise break the
 	// left/right symmetry.
-	res, err := QuotientRespecting(m, []string{"qos", "pristine"})
+	res, err := lump.QuotientRespecting(m, []string{"qos", "pristine"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +176,14 @@ func TestQuotientRejectsImpulses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Quotient(m); !errors.Is(err, mrm.ErrImpulsesUnsupported) {
+	if _, err := lump.Quotient(m); !errors.Is(err, mrm.ErrImpulsesUnsupported) {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestQuotientKeepsInitialDistribution(t *testing.T) {
 	m := symmetricModel(t)
-	res, err := Quotient(m)
+	res, err := lump.Quotient(m)
 	if err != nil {
 		t.Fatal(err)
 	}

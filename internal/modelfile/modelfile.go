@@ -140,7 +140,7 @@ func Encode(w io.Writer, m *mrm.MRM) error {
 // FromMRM converts a model into its document form.
 func FromMRM(m *mrm.MRM) *File {
 	f := &File{}
-	init := m.Init()
+	init := m.InitView()
 	labels := m.Labels()
 	for s := 0; s < m.N(); s++ {
 		st := State{

@@ -47,11 +47,25 @@ func (m *MRM) ExitRate(s int) float64 { return m.exit[s] }
 // ExitRates returns a copy of the exit-rate vector E.
 func (m *MRM) ExitRates() []float64 { return sparse.Clone(m.exit) }
 
+// ExitRatesView returns the exit-rate vector E (shared, do not modify).
+// The no-copy view exists for the internal sweep loops, which read the
+// vector once per call on their hot path; external callers should prefer
+// ExitRates.
+//
+//lint:ignore aliasret sharing is the documented contract of the View accessors; callers must not modify
+func (m *MRM) ExitRatesView() []float64 { return m.exit }
+
 // Reward returns ρ(s).
 func (m *MRM) Reward(s int) float64 { return m.reward[s] }
 
 // Rewards returns a copy of the reward vector ρ.
 func (m *MRM) Rewards() []float64 { return sparse.Clone(m.reward) }
+
+// RewardsView returns the reward vector ρ (shared, do not modify). See
+// ExitRatesView for the sharing contract.
+//
+//lint:ignore aliasret sharing is the documented contract of the View accessors; callers must not modify
+func (m *MRM) RewardsView() []float64 { return m.reward }
 
 // MaxReward returns max_s ρ(s).
 func (m *MRM) MaxReward() float64 {
@@ -80,6 +94,12 @@ func (m *MRM) DistinctRewards() []float64 {
 
 // Init returns a copy of the initial distribution α.
 func (m *MRM) Init() []float64 { return sparse.Clone(m.init) }
+
+// InitView returns the initial distribution α (shared, do not modify). See
+// ExitRatesView for the sharing contract.
+//
+//lint:ignore aliasret sharing is the documented contract of the View accessors; callers must not modify
+func (m *MRM) InitView() []float64 { return m.init }
 
 // InitialState returns the unique initial state if α is a point mass,
 // or -1 otherwise.

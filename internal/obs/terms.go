@@ -30,6 +30,9 @@ var knownTerms = map[string]map[string]bool{
 	"discretise": {
 		"step": true, // O(d) discretisation term (indicative)
 	},
+	"truncation": {
+		"state-drop": true, // probability mass of states dropped from the truncated forward sweep window
+	},
 }
 
 // KnownTerm reports whether component/term is a canonical ledger label.

@@ -70,6 +70,13 @@ type Options struct {
 	// C(h,n,k) recursion itself always runs to its a-priori truncation
 	// point N_ε.
 	SteadyDetect transient.SteadyMode
+	// Truncate is forwarded to the transient fallback (see
+	// transient.Options.Truncate). It only takes effect on forward sweeps
+	// there; the vacuous-bound leg here is a backward sweep and the
+	// C(h,n,k) recursion carries conditional distributions whose columns
+	// cannot be dropped independently, so neither truncates today. The
+	// field keeps the checker's option plumbing uniform.
+	Truncate float64
 	// Cache, when non-nil, memoises the uniformised matrix and the
 	// Poisson weight table.
 	Cache Cache
@@ -374,7 +381,7 @@ func ReachProb(m *mrm.MRM, goal *mrm.StateSet, t, r float64, opts Options) (floa
 		return 0, 0, err
 	}
 	var v float64
-	for s, p := range m.Init() {
+	for s, p := range m.InitView() {
 		v += p * res.Values[s]
 	}
 	return v, res.N, nil
@@ -708,6 +715,7 @@ func transientGoal(m *mrm.MRM, goal *mrm.StateSet, t, lambda, eps float64, opts 
 		Lambda:       lambda,
 		Workers:      opts.Workers,
 		SteadyDetect: opts.SteadyDetect,
+		Truncate:     opts.Truncate,
 		Pool:         opts.Pool,
 		Obs:          opts.Obs,
 		// Cache's method set is identical to transient.Cache's, so the

@@ -116,6 +116,16 @@ func (m *CSR) Row(i int, fn func(j int, v float64)) {
 	}
 }
 
+// RowRange returns the stored column indices and values of row i (shared,
+// do not modify). The raw slices exist for scatter kernels that walk one
+// row per active state — the closure of Row costs an indirect call per
+// entry, which dominates when the active window is a few states wide.
+func (m *CSR) RowRange(i int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	//lint:ignore aliasret sharing is the documented contract: the row views feed the truncated scatter kernel and a copy per active state would defeat the windowing
+	return m.col[lo:hi], m.val[lo:hi]
+}
+
 // RowSum returns the sum of the stored entries in row i.
 func (m *CSR) RowSum(i int) float64 {
 	var s float64

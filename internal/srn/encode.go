@@ -1,0 +1,177 @@
+package srn
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// markingStore is a chunked arena for explored markings: fixed-size chunks
+// of place-count ints, each marking a contiguous window. Appends never
+// move previously handed-out windows (chunks are immutable once full), so
+// a Marking view obtained during exploration stays valid for the whole
+// build — unlike a single growing slice — while avoiding one allocation
+// and one slice header per marking.
+type markingStore struct {
+	places int
+	chunks [][]int
+	n      int
+}
+
+// markingChunk is the number of markings per arena chunk.
+const markingChunk = 4096
+
+func newMarkingStore(places int) *markingStore {
+	return &markingStore{places: places}
+}
+
+// add copies m into the arena and returns its index.
+func (s *markingStore) add(m Marking) int {
+	ci, off := s.n/markingChunk, (s.n%markingChunk)*s.places
+	if ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]int, markingChunk*s.places))
+	}
+	copy(s.chunks[ci][off:off+s.places], m)
+	s.n++
+	return s.n - 1
+}
+
+// at returns the stored marking as a view into the arena; the caller must
+// not grow it (reads and in-place writes of existing entries are the
+// arena's own business only).
+func (s *markingStore) at(i int) Marking {
+	ci, off := i/markingChunk, (i%markingChunk)*s.places
+	return Marking(s.chunks[ci][off : off+s.places : off+s.places])
+}
+
+// all returns views of every stored marking, in exploration order.
+func (s *markingStore) all() []Marking {
+	out := make([]Marking, s.n)
+	for i := range out {
+		out[i] = s.at(i)
+	}
+	return out
+}
+
+// dedup indexes markings by a compact encoding derived from per-place
+// token bounds: place p gets just enough bits for the largest count seen
+// there, and while the widths sum to at most 64 the whole marking packs
+// into one uint64 map key — no per-marking string, no per-lookup
+// allocation. When a count outgrows its width the encoder grows that
+// width and re-encodes the (deduplicated) store; each growth at least
+// doubles a place's range, so there are at most 64 rebuilds over any run.
+// Past 64 total bits it falls back to a fixed 4-bytes-per-place string
+// key, still several times denser than the decimal Key form.
+type dedup struct {
+	store  *markingStore
+	widths []uint8
+	shifts []uint8
+	total  int
+	packed map[uint64]int // non-nil while total ≤ 64
+	wide   map[string]int // non-nil once total > 64
+	buf    []byte         // scratch for wide keys
+}
+
+func newDedup(store *markingStore, init Marking) *dedup {
+	d := &dedup{
+		store:  store,
+		widths: make([]uint8, len(init)),
+		shifts: make([]uint8, len(init)),
+	}
+	for p, c := range init {
+		d.widths[p] = bitsFor(c)
+	}
+	d.layout()
+	return d
+}
+
+// bitsFor returns the width needed to store counts 0..c (at least 1 bit,
+// so every place owns a field even when currently empty).
+func bitsFor(c int) uint8 {
+	if c <= 1 {
+		return 1
+	}
+	return uint8(bits.Len(uint(c)))
+}
+
+// layout recomputes the field offsets and switches the key representation
+// to match the current total width.
+func (d *dedup) layout() {
+	d.total = 0
+	for p, w := range d.widths {
+		d.shifts[p] = uint8(d.total)
+		d.total += int(w)
+	}
+	if d.total <= 64 {
+		d.packed = make(map[uint64]int, d.store.n*2)
+		d.wide = nil
+	} else {
+		d.packed = nil
+		d.wide = make(map[string]int, d.store.n*2)
+		d.buf = make([]byte, 4*len(d.widths))
+	}
+}
+
+// fits reports whether every count of m lies inside its current field.
+func (d *dedup) fits(m Marking) bool {
+	for p, c := range m {
+		if c < 0 || bitsFor(c) > d.widths[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// grow widens the fields to admit m and re-encodes the store.
+func (d *dedup) grow(m Marking) {
+	for p, c := range m {
+		if w := bitsFor(c); w > d.widths[p] {
+			d.widths[p] = w
+		}
+	}
+	d.layout()
+	for i := 0; i < d.store.n; i++ {
+		d.insert(d.store.at(i), i)
+	}
+}
+
+func (d *dedup) packKey(m Marking) uint64 {
+	var k uint64
+	for p, c := range m {
+		k |= uint64(c) << d.shifts[p]
+	}
+	return k
+}
+
+func (d *dedup) wideKey(m Marking) []byte {
+	for p, c := range m {
+		binary.LittleEndian.PutUint32(d.buf[4*p:], uint32(c))
+	}
+	return d.buf
+}
+
+// lookup returns the index of m, or -1 when unseen.
+func (d *dedup) lookup(m Marking) int {
+	if d.packed != nil {
+		if !d.fits(m) {
+			d.grow(m)
+			return d.lookup(m)
+		}
+		if idx, ok := d.packed[d.packKey(m)]; ok {
+			return idx
+		}
+		return -1
+	}
+	if idx, ok := d.wide[string(d.wideKey(m))]; ok {
+		return idx
+	}
+	return -1
+}
+
+// insert records m at index idx. m must already fit (lookup grows).
+func (d *dedup) insert(m Marking, idx int) {
+	if d.packed != nil {
+		d.packed[d.packKey(m)] = idx
+		return
+	}
+	d.wide[string(d.wideKey(m))] = idx
+}

@@ -1,0 +1,127 @@
+package srn
+
+import (
+	"testing"
+)
+
+// refDedup is the straw-man the compact encoder must match: the decimal
+// string key of every marking.
+type refDedup map[string]int
+
+// markingWalk produces a deterministic stream of markings over the given
+// place count, cycling token counts through distinct ranges per place.
+func markingWalk(places, count int) []Marking {
+	out := make([]Marking, count)
+	for i := range out {
+		m := make(Marking, places)
+		for p := range m {
+			m[p] = (i*(p+3) + p) % (5 + 7*p)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func runEquivalence(t *testing.T, places, count int) {
+	t.Helper()
+	walk := markingWalk(places, count)
+	store := newMarkingStore(places)
+	d := newDedup(store, walk[0])
+	ref := refDedup{}
+	for _, m := range walk {
+		wantIdx, seen := ref[m.Key()]
+		got := d.lookup(m)
+		if !seen && got != -1 {
+			t.Fatalf("marking %v: unseen but lookup returned %d", m, got)
+		}
+		if seen && got != wantIdx {
+			t.Fatalf("marking %v: want index %d, got %d", m, wantIdx, got)
+		}
+		if !seen {
+			idx := store.add(m)
+			d.insert(m, idx)
+			ref[m.Key()] = idx
+			// The arena view must reproduce the marking exactly.
+			if stored := store.at(idx); stored.Key() != m.Key() {
+				t.Fatalf("arena returned %v for %v", stored, m)
+			}
+		}
+	}
+	// Every stored marking must still be found after all growth rebuilds.
+	for key, idx := range ref {
+		if got := d.lookup(store.at(idx)); got != idx {
+			t.Errorf("marking %s: want %d after growth, got %d", key, idx, got)
+		}
+	}
+}
+
+// TestDedupMatchesStringKeys drives the packed encoder through a marking
+// stream whose counts keep outgrowing their bit fields, forcing repeated
+// width growth and re-encoding, and checks every lookup against the
+// decimal string-key reference.
+func TestDedupMatchesStringKeys(t *testing.T) {
+	runEquivalence(t, 4, 400)
+}
+
+// TestDedupWideFallback uses enough places with large counts that the
+// packed layout exceeds 64 bits and the encoder must switch to the
+// fixed-width byte-string fallback mid-run.
+func TestDedupWideFallback(t *testing.T) {
+	const places = 24
+	runEquivalence(t, places, 600)
+
+	// Confirm the fallback actually engaged for this shape: 24 places with
+	// counts up to 7·23+4 need far more than 64 bits.
+	walk := markingWalk(places, 600)
+	store := newMarkingStore(places)
+	d := newDedup(store, walk[0])
+	for _, m := range walk {
+		if d.lookup(m) == -1 {
+			d.insert(m, store.add(m))
+		}
+	}
+	if d.wide == nil {
+		t.Fatalf("expected the wide fallback at %d total bits", d.total)
+	}
+}
+
+// TestDedupPackedStays checks a small-bound shape never leaves the packed
+// uint64 representation.
+func TestDedupPackedStays(t *testing.T) {
+	store := newMarkingStore(3)
+	init := Marking{2, 0, 1}
+	d := newDedup(store, init)
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			m := Marking{a, b, (a + b) % 2}
+			if d.lookup(m) == -1 {
+				d.insert(m, store.add(m))
+			}
+		}
+	}
+	if d.packed == nil {
+		t.Fatalf("small bounds should stay packed (total bits %d)", d.total)
+	}
+	if store.n != 64 {
+		t.Fatalf("expected 64 distinct markings, got %d", store.n)
+	}
+}
+
+// TestMarkingStoreChunkBoundary crosses the arena chunk boundary and
+// checks views on both sides stay intact.
+func TestMarkingStoreChunkBoundary(t *testing.T) {
+	store := newMarkingStore(2)
+	total := markingChunk + 10
+	for i := 0; i < total; i++ {
+		store.add(Marking{i, i * 2})
+	}
+	for _, i := range []int{0, markingChunk - 1, markingChunk, total - 1} {
+		m := store.at(i)
+		if m[0] != i || m[1] != i*2 {
+			t.Errorf("store.at(%d) = %v", i, m)
+		}
+	}
+	if got := len(store.all()); got != total {
+		t.Errorf("all() returned %d markings, want %d", got, total)
+	}
+}

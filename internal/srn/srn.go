@@ -148,11 +148,25 @@ type Options struct {
 	// Every place with at least one token always contributes its place
 	// name as a label.
 	Labels func(Marking) []string
+	// NoNames skips the per-state name strings ("p1+p2+…"). At 10^5+
+	// markings the concatenated names dominate the generator's residual
+	// allocations, while the names are only read when printing states of
+	// small models; MRM.Name falls back to "s<i>".
+	NoNames bool
 }
 
 // BuildMRM explores the reachability graph breadth-first from init and
 // returns the resulting MRM together with the marking of every state.
 // State 0 is the initial marking.
+//
+// The explorer is built for large nets: markings live in a chunked arena
+// and are deduplicated through the packed integer encoding of encode.go
+// (no per-marking key strings), firing writes into one reused scratch
+// marking, and transitions stream straight into parallel (from, to, rate)
+// triple slices — the CSR builder's native diet — so the per-state
+// footprint during exploration is the marking itself plus a map word.
+// The breadth-first frontier is the tail of the arena, bounded by
+// Options.MaxStates; exceeding the bound returns ErrExplosion.
 func (n *Net) BuildMRM(init Marking, opts Options) (*mrm.MRM, []Marking, error) {
 	if err := n.Validate(); err != nil {
 		return nil, nil, err
@@ -164,17 +178,26 @@ func (n *Net) BuildMRM(init Marking, opts Options) (*mrm.MRM, []Marking, error) 
 	if maxStates == 0 {
 		maxStates = 1 << 20
 	}
-
-	type edge struct {
-		from, to int
-		rate     float64
-		impulse  float64
+	anyImpulse := false
+	for ti := range n.Transitions {
+		if n.Transitions[ti].Impulse != 0 {
+			anyImpulse = true
+			break
+		}
 	}
-	index := map[string]int{init.Key(): 0}
-	markings := []Marking{init.Clone()}
-	var edges []edge
-	for head := 0; head < len(markings); head++ {
-		m := markings[head]
+
+	store := newMarkingStore(len(n.Places))
+	store.add(init)
+	index := newDedup(store, init)
+	index.insert(init, 0)
+	var (
+		eFrom, eTo []int
+		eRate      []float64
+		eImpulse   []float64 // parallel to eRate; nil when no transition carries one
+	)
+	scratch := make(Marking, len(n.Places))
+	for head := 0; head < store.n; head++ {
+		m := store.at(head)
 		for ti := range n.Transitions {
 			if !n.Enabled(ti, m) {
 				continue
@@ -186,50 +209,61 @@ func (n *Net) BuildMRM(init Marking, opts Options) (*mrm.MRM, []Marking, error) 
 			if rate == 0 {
 				continue
 			}
-			next := n.Fire(ti, m)
-			key := next.Key()
-			idx, ok := index[key]
-			if !ok {
-				if len(markings) >= maxStates {
+			n.fireInto(ti, m, scratch)
+			idx := index.lookup(scratch)
+			if idx < 0 {
+				if store.n >= maxStates {
 					return nil, nil, fmt.Errorf("%w: %d states", ErrExplosion, maxStates)
 				}
-				idx = len(markings)
-				index[key] = idx
-				markings = append(markings, next)
+				idx = store.add(scratch)
+				index.insert(scratch, idx)
 			}
 			if idx != head { // a self-loop in a CTMC is unobservable; drop it
-				edges = append(edges, edge{from: head, to: idx, rate: rate, impulse: n.Transitions[ti].Impulse})
+				eFrom = append(eFrom, head)
+				eTo = append(eTo, idx)
+				eRate = append(eRate, rate)
+				if anyImpulse {
+					eImpulse = append(eImpulse, n.Transitions[ti].Impulse)
+				}
 			}
 		}
 	}
 
-	b := mrm.NewBuilder(len(markings))
-	impulseSum := make(map[[2]int]float64)
-	rateSum := make(map[[2]int]float64)
-	for _, e := range edges {
-		b.Rate(e.from, e.to, e.rate)
-		key := [2]int{e.from, e.to}
+	b := mrm.NewBuilder(store.n)
+	for e := range eRate {
+		b.Rate(eFrom[e], eTo[e], eRate[e])
+	}
+	if anyImpulse {
 		// Competing transitions between the same pair of markings merge
 		// into one CTMC rate; their impulse becomes the rate-weighted
 		// average (exact for the expected reward, and exact outright when
 		// the impulses agree).
-		impulseSum[key] += e.rate * e.impulse
-		rateSum[key] += e.rate
-	}
-	for key, wsum := range impulseSum {
-		if wsum > 0 {
-			b.Impulse(key[0], key[1], wsum/rateSum[key])
+		impulseSum := make(map[[2]int]float64)
+		rateSum := make(map[[2]int]float64)
+		for e := range eRate {
+			key := [2]int{eFrom[e], eTo[e]}
+			impulseSum[key] += eRate[e] * eImpulse[e]
+			rateSum[key] += eRate[e]
+		}
+		for key, wsum := range impulseSum {
+			if wsum > 0 {
+				b.Impulse(key[0], key[1], wsum/rateSum[key])
+			}
 		}
 	}
-	for si, m := range markings {
+	var nameParts []string
+	for si := 0; si < store.n; si++ {
+		m := store.at(si)
 		if opts.Reward != nil {
 			b.Reward(si, opts.Reward(m))
 		}
-		var nameParts []string
+		nameParts = nameParts[:0]
 		for pi, tokens := range m {
 			if tokens > 0 {
 				b.Label(si, n.Places[pi])
-				nameParts = append(nameParts, n.Places[pi])
+				if !opts.NoNames {
+					nameParts = append(nameParts, n.Places[pi])
+				}
 			}
 		}
 		if opts.Labels != nil {
@@ -237,12 +271,27 @@ func (n *Net) BuildMRM(init Marking, opts Options) (*mrm.MRM, []Marking, error) 
 				b.Label(si, l)
 			}
 		}
-		b.Name(si, strings.Join(nameParts, "+"))
+		if !opts.NoNames {
+			b.Name(si, strings.Join(nameParts, "+"))
+		}
 	}
 	b.InitialState(0)
 	model, err := b.Build()
 	if err != nil {
 		return nil, nil, fmt.Errorf("srn: build MRM: %w", err)
 	}
-	return model, markings, nil
+	return model, store.all(), nil
+}
+
+// fireInto writes the marking reached by firing transition ti in m into
+// dst (the allocation-free Fire used by the explorer).
+func (n *Net) fireInto(ti int, m Marking, dst Marking) {
+	t := &n.Transitions[ti]
+	copy(dst, m)
+	for _, a := range t.In {
+		dst[a.Place] -= a.Weight
+	}
+	for _, a := range t.Out {
+		dst[a.Place] += a.Weight
+	}
 }

@@ -46,7 +46,7 @@ func sweepMulti(p *sparse.CSR, vs [][]float64, w *numeric.PoissonWeights, q floa
 		active[j] = j
 	}
 	detect := opts.SteadyDetect.enabled()
-	_, steadyEps := opts.budgetSplit()
+	_, steadyEps, _ := opts.budgetSplit(false)
 	delta := steadyEps / q
 	products := 0
 	for step := 0; step <= w.Right && len(active) > 0; step++ {
@@ -140,6 +140,22 @@ func multi(m *mrm.MRM, vs [][]float64, t float64, opts Options, forward bool) ([
 	if len(vs) == 0 {
 		return nil, nil
 	}
+	if forward && opts.Truncate > 0 {
+		// The truncated forward sweep keeps a per-vector active window; a
+		// block advance would force the union of all windows on every
+		// column. Run the vectors through the truncating vector path
+		// one by one instead.
+		out := make([][]float64, len(vs))
+		for j, v := range vs {
+			//lint:ignore epsbudget each vector is an independent distribution with its own full-epsilon guarantee, exactly as if the caller had made the calls one by one
+			r, err := DistributionFrom(m, v, t, opts)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = r
+		}
+		return out, nil
+	}
 	if len(vs) == 1 {
 		// A single vector gains nothing from the block layout; keep it on
 		// the (bitwise identical) vector path.
@@ -171,7 +187,7 @@ func multi(m *mrm.MRM, vs [][]float64, t float64, opts Options, forward bool) ([
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	fgEps, _ := opts.budgetSplit()
+	fgEps, _, _ := opts.budgetSplit(false)
 	w, err := opts.poissonWeights(lambda*t, fgEps)
 	span.End()
 	if err != nil {

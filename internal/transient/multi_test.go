@@ -134,7 +134,7 @@ func TestMultiSteadyDetectPerColumn(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := Options{Epsilon: eps, Workers: 1}
-	fgEps, _ := opts.budgetSplit()
+	fgEps, _, _ := opts.budgetSplit(false)
 	w, err := opts.poissonWeights(q, fgEps)
 	if err != nil {
 		t.Fatal(err)

@@ -61,6 +61,18 @@ type Options struct {
 	// Workers bounds the parallelism of the matrix–vector sweeps:
 	// 0 = runtime.NumCPU(), 1 = the exact sequential legacy path.
 	Workers int
+	// Truncate, when positive, turns on truncation in the forward sweeps:
+	// after each uniformisation step, active states whose probability mass
+	// lies below the threshold are dropped from the sweep window, as long
+	// as the total dropped mass stays within the ledgered share of Epsilon
+	// (budgetSplit reserves a third of the budget for it; the exact dropped
+	// mass is charged to the truncation/state-drop ledger term). The
+	// iterate of a forward sweep is a sub-distribution, so the dropped mass
+	// directly bounds the ℓ1 error of the result. Zero (the default)
+	// disables truncation and keeps every existing result bitwise
+	// unchanged. Backward sweeps ignore the field: their iterate is not a
+	// distribution and small entries carry no mass bound.
+	Truncate float64
 	// SteadyDetect controls steady-state detection: when the sweep iterate
 	// moves by less than (ε/2)/(λt) in the ∞-norm, the remaining Poisson
 	// tail is charged to the converged vector and the sweep stops early.
@@ -105,18 +117,28 @@ func (o Options) uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error) {
 	return m.Uniformised(lambda)
 }
 
-// budgetSplit divides Epsilon between the two truncation error sources of
-// a sweep. With steady-state detection off, the Fox–Glynn truncation gets
-// the whole budget, as always. With detection on, each source gets half:
-// before this split the detector charged the Poisson tail at δ = ε/q *on
-// top of* a full-ε Fox–Glynn table, silently stacking the advertised ε to
-// 2ε — exactly the kind of unaccounted contribution the error-budget
-// ledger exists to expose. The split restores the ≤ ε guarantee.
-func (o Options) budgetSplit() (fgEps, steadyEps float64) {
-	if o.SteadyDetect.enabled() {
-		return o.Epsilon / 2, o.Epsilon / 2
+// budgetSplit divides Epsilon among the truncation error sources active in
+// a sweep: the Fox–Glynn series truncation, steady-state detection, and —
+// for the truncated forward sweeps, which the truncating parameter
+// declares — the state-drop truncation. Every active source gets an equal
+// share (halves for two, thirds for three), and a solo Fox–Glynn leg keeps
+// the whole budget, so configurations that existed before truncation keep
+// their exact historical split and their bitwise-identical results. The
+// even split exists for the same reason as the original ε/2 one: each
+// source charges its real mass to the ledger, and the shares must sum to
+// at most ε for the advertised bound to hold.
+func (o Options) budgetSplit(truncating bool) (fgEps, steadyEps, truncEps float64) {
+	steady := o.SteadyDetect.enabled()
+	switch {
+	case steady && truncating:
+		return o.Epsilon / 3, o.Epsilon / 3, o.Epsilon / 3
+	case steady:
+		return o.Epsilon / 2, o.Epsilon / 2, 0
+	case truncating:
+		return o.Epsilon / 2, 0, o.Epsilon / 2
+	default:
+		return o.Epsilon, 0, 0
 	}
-	return o.Epsilon, 0
 }
 
 // poissonWeights returns the Fox–Glynn table for truncation budget fgEps,
@@ -168,7 +190,7 @@ func sweep(p *sparse.CSR, v []float64, w *numeric.PoissonWeights, q float64, opt
 	next := pool.Get(n)
 	acc := pool.Get(n)
 	detect := opts.SteadyDetect.enabled()
-	_, steadyEps := opts.budgetSplit()
+	_, steadyEps, _ := opts.budgetSplit(false)
 	delta := steadyEps / q
 	products := 0
 	for step := 0; step <= w.Right; step++ {
@@ -219,7 +241,7 @@ func sweep(p *sparse.CSR, v []float64, w *numeric.PoissonWeights, q float64, opt
 //
 //numerics:domain prob t=rate
 func Distribution(m *mrm.MRM, t float64, opts Options) ([]float64, error) {
-	return DistributionFrom(m, m.Init(), t, opts)
+	return DistributionFrom(m, m.InitView(), t, opts)
 }
 
 // DistributionFrom returns π(t) starting from the given distribution.
@@ -242,19 +264,29 @@ func DistributionFrom(m *mrm.MRM, init []float64, t float64, opts Options) ([]fl
 	if lambda == 0 {
 		lambda = m.UniformisationRate()
 	}
+	truncating := opts.Truncate > 0
 	span := opts.Obs.StartSpan("transient.uniformise")
 	p, err := opts.uniformised(m, lambda)
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	fgEps, _ := opts.budgetSplit()
+	fgEps, _, _ := opts.budgetSplit(truncating)
 	w, err := opts.poissonWeights(lambda*t, fgEps)
 	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
 	span = opts.Obs.StartSpan("transient.sweep")
-	acc, _ := sweep(p, init, w, lambda*t, opts, true)
+	var acc []float64
+	if truncating {
+		var dropped float64
+		acc, dropped, _ = sweepForwardTruncated(p, init, w, lambda*t, opts)
+		if opts.Obs != nil {
+			opts.Obs.Charge("truncation", "state-drop", dropped)
+		}
+	} else {
+		acc, _ = sweep(p, init, w, lambda*t, opts, true)
+	}
 	span.End()
 	return acc, nil
 }
@@ -301,7 +333,7 @@ func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float
 	if err != nil {
 		return nil, fmt.Errorf("transient: %w", err)
 	}
-	fgEps, _ := opts.budgetSplit()
+	fgEps, _, _ := opts.budgetSplit(false)
 	w, err := opts.poissonWeights(lambda*t, fgEps)
 	span.End()
 	if err != nil {

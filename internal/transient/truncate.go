@@ -1,0 +1,187 @@
+package transient
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/numeric"
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// sweepForwardTruncated is the truncating variant of the forward sweep:
+// Σ_n w(n)·vₙ with vₙ₊₁ = vₙ·P, where each step keeps only an active
+// window of states and drops entries whose mass lies below opts.Truncate,
+// as long as the cumulative dropped mass stays inside the budget share
+// reserved by budgetSplit. vₙ is a sub-distribution (v is one and P is
+// stochastic), so every dropped entry removes exactly its own mass from
+// all later iterates and from the accumulator: the total dropped mass is a
+// sound ℓ1 bound on the truncation error. Callers owe the ledger the
+// returned mass.
+//
+// The step kernel is a row-scatter over the active states via CSR row
+// views — the matrix is read only at the rows the window touches, which is
+// the whole point: cost per step is O(active·row-nnz), not O(nnz). The
+// active lists are kept in ascending state order and the accumulator
+// updates mirror the dense kernels' per-entry arithmetic, so with a
+// threshold too low to drop anything the result equals the dense forward
+// sweep bit for bit (the skipped entries are exact zeros, which add
+// nothing); steady-state detection runs the same |next−cur|∞ < δ test
+// over the union of the two windows.
+//
+// The accumulator is pool-born and handed to the caller, along with the
+// dropped mass and the number of matrix passes.
+//
+//numerics:truncates truncation/state-drop
+func sweepForwardTruncated(p *sparse.CSR, v []float64, w *numeric.PoissonWeights, q float64, opts Options) (accOut []float64, dropped float64, products int) {
+	n := p.Dim()
+	pool := opts.Pool
+	acc := pool.Get(n)
+	curVals := pool.Get(n)
+	nextVals := pool.Get(n)
+	curMark := make([]bool, n)
+	nextMark := make([]bool, n)
+	curList := make([]int, 0, 64)
+	nextList := make([]int, 0, 64)
+	for s, x := range v {
+		if x != 0 {
+			curVals[s] = x
+			curMark[s] = true
+			curList = append(curList, s)
+		}
+	}
+	detect := opts.SteadyDetect.enabled()
+	_, steadyEps, truncEps := opts.budgetSplit(true)
+	delta := steadyEps / q
+	thr := opts.Truncate
+	peak := len(curList)
+	var droppedStates int64
+	for step := 0; step <= w.Right; step++ {
+		if step >= w.Left {
+			wt := w.Weight(step)
+			for _, s := range curList {
+				acc[s] += wt * curVals[s]
+			}
+		}
+		if step == w.Right {
+			break
+		}
+		// next = cur·P restricted to the rows of the active window.
+		for _, t := range nextList {
+			nextVals[t] = 0
+			nextMark[t] = false
+		}
+		nextList = nextList[:0]
+		for _, s := range curList {
+			x := curVals[s]
+			if x == 0 {
+				continue
+			}
+			cols, vals := p.RowRange(s)
+			for k, t := range cols {
+				if !nextMark[t] {
+					nextMark[t] = true
+					nextList = append(nextList, t)
+				}
+				nextVals[t] += x * vals[k]
+			}
+		}
+		sort.Ints(nextList)
+		products++
+		// Drop the newly negligible states, eldest-index first, while the
+		// budget lasts. An entry at or above thr always survives, so the
+		// window never loses a state that carries real mass.
+		keep := nextList[:0]
+		for _, t := range nextList {
+			if x := nextVals[t]; x < thr && dropped+x <= truncEps {
+				dropped += x
+				droppedStates++
+				nextVals[t] = 0
+				nextMark[t] = false
+				continue
+			}
+			keep = append(keep, t)
+		}
+		nextList = keep
+		if len(nextList) > peak {
+			peak = len(nextList)
+		}
+		if detect {
+			var diff float64
+			for _, t := range nextList {
+				if d := math.Abs(nextVals[t] - curVals[t]); d > diff {
+					diff = d
+				}
+			}
+			for _, s := range curList {
+				if !nextMark[s] {
+					// Absent from the next window: the entry went to zero.
+					if d := curVals[s]; d > diff {
+						diff = d
+					}
+				}
+			}
+			if diff < delta {
+				var tail, kSum float64
+				for k := step + 1; k <= w.Right; k++ {
+					tail += w.Weight(k)
+					kSum += float64(k-step) * w.Weight(k)
+				}
+				for _, t := range nextList {
+					acc[t] += tail * nextVals[t]
+				}
+				if opts.Obs != nil {
+					opts.Obs.Counter("steady.detections").Inc()
+					opts.Obs.Charge("steady", "tail-charge", diff*kSum)
+				}
+				break
+			}
+		}
+		curVals, nextVals = nextVals, curVals
+		curMark, nextMark = nextMark, curMark
+		curList, nextList = nextList, curList
+	}
+	pool.Put(curVals)
+	pool.Put(nextVals)
+	if opts.Obs != nil {
+		opts.Obs.Counter("sweep.products").Add(int64(products))
+		opts.Obs.Counter("truncation.dropped-states").Add(droppedStates)
+		opts.Obs.Gauge("truncation.active-window").SetMax(float64(peak))
+	}
+	return acc, dropped, products
+}
+
+// TimeBoundedUntilFrom computes Pr_from{Φ U^{≤t} Ψ} for one start state by
+// a single forward sweep: make Ψ and ¬(Φ∨Ψ) states absorbing, push the
+// point mass at from through the uniformised chain, and sum the Ψ mass at
+// time t. This is the P1 procedure turned around — TimeBoundedUntil
+// answers the same question for every start state in one backward sweep,
+// but its iterate is a value vector, not a distribution, so it cannot
+// truncate soundly. The forward orientation is what Options.Truncate needs
+// at scale: when the chain cannot drift far from the start state within t,
+// the active window stays a vanishing fraction of the state space.
+//
+//numerics:domain prob t=rate
+func TimeBoundedUntilFrom(m *mrm.MRM, phi, psi *mrm.StateSet, from int, t float64, opts Options) (float64, error) {
+	if from < 0 || from >= m.N() {
+		return 0, fmt.Errorf("transient: until-from: state %d out of range [0,%d)", from, m.N())
+	}
+	absorb := phi.Union(psi).Complement().Union(psi)
+	abs, err := m.MakeAbsorbing(absorb, false)
+	if err != nil {
+		return 0, fmt.Errorf("transient: until-from: %w", err)
+	}
+	opts = opts.normalise()
+	init := opts.Pool.Get(m.N())
+	init[from] = 1
+	dist, err := DistributionFrom(abs, init, t, opts)
+	opts.Pool.Put(init)
+	if err != nil {
+		return 0, fmt.Errorf("transient: until-from: %w", err)
+	}
+	var pr float64
+	psi.Each(func(s int) { pr += dist[s] })
+	opts.Pool.Put(dist)
+	return pr, nil
+}
