@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-github lint-consistency lint-dataflow bench-smoke bench-check fmt vet
+.PHONY: all build test race lint lint-github lint-consistency lint-dataflow bench-smoke bench-check serve-smoke fmt vet
 
 all: build lint test
 
@@ -58,6 +58,15 @@ bench-check:
 	$(GO) run ./cmd/perfbench -baseline BENCH_PR7.json -workers-sweep
 	$(GO) run ./cmd/mrmlint -bench-json /tmp/mrmlint-bench-check.json ./...
 	$(GO) run ./cmd/perfbench -scale-check BENCH_PR9.json
+
+# The service acceptance smoke: an in-process csrld on a real listener,
+# station model uploaded over HTTP, 8 concurrent queries fired twice.
+# Asserts every response is a 200 whose Σ ≤ ε budget proof passes and
+# whose answer is bitwise identical to a one-shot checker, and that the
+# second wave is served from the cross-request memo (hits > 0, no new
+# misses).
+serve-smoke:
+	$(GO) run ./cmd/csrld -smoke
 
 fmt:
 	gofmt -l -w .

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,7 +48,14 @@ func loadModel(spec string) (*mrm.MRM, error) {
 		if err != nil {
 			return nil, fmt.Errorf("-model cluster:N needs an integer N, got %q", rest)
 		}
-		return cluster.Default(n).Build()
+		if n < 1 {
+			return nil, fmt.Errorf("-model cluster:N needs N >= 1 (workstations per side), got %d", n)
+		}
+		p, err := cluster.Default(n)
+		if err != nil {
+			return nil, err
+		}
+		return p.Build()
 	}
 	return modelfile.Load(spec)
 }
@@ -73,6 +81,12 @@ func run(args []string, out io.Writer) (int, error) {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h/-help is a successful invocation that asked for usage (the
+			// FlagSet already printed it), not a tool failure: exit 0 with
+			// no "csrlcheck: flag: help requested" noise on stderr.
+			return 0, nil
+		}
 		return 1, err
 	}
 	if *modelPath == "" {
@@ -130,6 +144,23 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	if isQuery(formula) {
+		// With truncation on, the initial-distribution value can come from
+		// truncated forward sweeps alone; the dense all-states Values sweep
+		// would defeat the truncation the flag asked for. The per-state
+		// listing still needs the full sweep, so -states opts out.
+		if *truncate > 0 && !*states {
+			initVal, ok, err := checker.QueryInitial(formula)
+			if err != nil {
+				return 1, err
+			}
+			if ok {
+				fmt.Fprintf(out, "value from the initial distribution: %0.10f\n", initVal)
+				fmt.Fprintf(out, "per-state values: not computed (truncated run; pass -states to force the full sweep)\n")
+				printStats()
+				return 0, nil
+			}
+			fmt.Fprintf(out, "note: -truncate fast path does not apply to this formula shape; falling back to the dense all-states sweep\n")
+		}
 		vals, err := checker.Values(formula)
 		if err != nil {
 			return 1, err

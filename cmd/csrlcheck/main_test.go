@@ -284,3 +284,100 @@ func TestRunClusterTruncated(t *testing.T) {
 		t.Errorf("-states should compute the full listing:\n%s", listed.String())
 	}
 }
+
+// TestRunHelpExitsZero pins the -h/-help contract: asking for usage is a
+// successful invocation, so run must return exit code 0 and no error (the
+// old behaviour surfaced flag.ErrHelp, printing "csrlcheck: flag: help
+// requested" to stderr and exiting 1).
+func TestRunHelpExitsZero(t *testing.T) {
+	for _, flagName := range []string{"-h", "-help", "--help"} {
+		var out bytes.Buffer
+		code, err := run([]string{flagName}, &out)
+		if err != nil {
+			t.Errorf("%s: err = %v, want nil", flagName, err)
+		}
+		if code != 0 {
+			t.Errorf("%s: exit code %d, want 0", flagName, code)
+		}
+	}
+}
+
+// TestRunClusterRejectsNonPositiveN pins the -model cluster:N validation:
+// N <= 0 must fail with a clear message instead of being handed to the
+// generator.
+func TestRunClusterRejectsNonPositiveN(t *testing.T) {
+	for _, spec := range []string{"cluster:0", "cluster:-1", "cluster:-224"} {
+		var out bytes.Buffer
+		_, err := run([]string{"-model", spec, "P>0 [ F down ]"}, &out)
+		if err == nil {
+			t.Errorf("%s accepted", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "N >= 1") {
+			t.Errorf("%s: error %q should explain the N >= 1 requirement", spec, err)
+		}
+	}
+}
+
+// TestRunQueryTruncatedFastPath pins the satellite fix: a P=? query with
+// -truncate must route the initial-distribution value through the forward
+// truncated sweep instead of the dense all-states Values computation, and
+// the value must agree with the dense run to within the accuracy.
+func TestRunQueryTruncatedFastPath(t *testing.T) {
+	const formula = "P=? [ !down U{t<=96} down ]"
+	var dense, fast bytes.Buffer
+	if _, err := run([]string{"-model", "cluster:8", formula}, &dense); err != nil {
+		t.Fatal(err)
+	}
+	code, err := run([]string{"-model", "cluster:8", "-truncate", "1e-14", "-stats", formula}, &fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, fast.String())
+	}
+	text := fast.String()
+	if !strings.Contains(text, "per-state values: not computed") {
+		t.Errorf("truncated query should skip the dense sweep:\n%s", text)
+	}
+	if !strings.Contains(text, "truncation/state-drop") {
+		t.Errorf("forward sweep should charge the truncation term:\n%s", text)
+	}
+	extract := func(out string) float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if rest, ok := strings.CutPrefix(line, "value from the initial distribution: "); ok {
+				v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+				if err != nil {
+					t.Fatalf("parse %q: %v", rest, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no value line in:\n%s", out)
+		return 0
+	}
+	dv, fv := extract(dense.String()), extract(fast.String())
+	if diff := dv - fv; diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("truncated value %g diverges from dense %g", fv, dv)
+	}
+	// -states keeps the dense sweep (the listing needs every state).
+	var listed bytes.Buffer
+	if _, err := run([]string{"-model", "cluster:8", "-truncate", "1e-14", "-states", formula}, &listed); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(listed.String(), "not computed") {
+		t.Errorf("-states should force the full sweep:\n%s", listed.String())
+	}
+	// An ineligible shape (S=? has no forward-sweep route) falls back with
+	// a printed note rather than failing.
+	var fallback bytes.Buffer
+	if _, err := run([]string{"-model", "cluster:8", "-truncate", "1e-14", "S=? [ down ]"}, &fallback); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fallback.String(), "fast path does not apply") {
+		t.Errorf("ineligible shape should print the fallback note:\n%s", fallback.String())
+	}
+	if !strings.Contains(fallback.String(), "value from the initial distribution:") {
+		t.Errorf("fallback should still produce the value:\n%s", fallback.String())
+	}
+}

@@ -1,0 +1,245 @@
+// The -smoke mode: the service acceptance check as a self-contained
+// binary run, so CI and `make serve-smoke` exercise the real HTTP stack —
+// listener, routing, JSON round-trips, concurrent admission — without
+// shell plumbing. The assertions mirror internal/service's tests but run
+// against a live socket:
+//
+//  1. upload the embedded station model, once per wave (the re-upload must
+//     land on the same fingerprint — parse-once across clients);
+//  2. fire 8 concurrent queries of mixed shape; every response must be a
+//     200 whose budget proof passes and whose answer is bitwise identical
+//     to a one-shot direct checker with the same configuration;
+//  3. fire the identical wave again; every response must now report memo
+//     hits, and the wave must add no new misses — nothing was
+//     re-uniformised.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/performability/csrl/internal/adhoc"
+	"github.com/performability/csrl/internal/core"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/modelfile"
+	"github.com/performability/csrl/internal/mrm"
+	"github.com/performability/csrl/internal/service"
+)
+
+// smokeQuery is one of the 8 concurrent requests with its expected answer.
+type smokeQuery struct {
+	formula string
+	// query formulas pin wantValue; bounded ones pin wantHolds+wantSat.
+	query     bool
+	wantValue float64
+	wantHolds bool
+	wantSat   int
+}
+
+func runSmoke(svcOpts service.Options, out io.Writer) (int, error) {
+	// The smoke wants to see coalescing happen, so it stretches the
+	// admission window well past goroutine-launch jitter.
+	svcOpts.BatchWindow = 100 * time.Millisecond
+	srv, err := service.New(svcOpts)
+	if err != nil {
+		return 1, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 1, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	//lint:ignore goroutinemisuse server lifecycle goroutine, torn down with the process; not numerical fan-out work
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "smoke: csrld on %s\n", base)
+
+	m, err := adhoc.Model()
+	if err != nil {
+		return 1, err
+	}
+	fp, err := smokeUpload(base, m, http.StatusCreated)
+	if err != nil {
+		return 1, fmt.Errorf("upload: %w", err)
+	}
+	fmt.Fprintf(out, "smoke: station model registered, fingerprint %s\n", fp[:16])
+
+	queries, err := smokeQueries(m, svcOpts.Checker)
+	if err != nil {
+		return 1, fmt.Errorf("one-shot reference: %w", err)
+	}
+
+	var missesAfter [2]int64
+	for wave := 0; wave < 2; wave++ {
+		// Parse-once: a second client uploading the same model must land on
+		// the existing entry, keeping its memo.
+		if _, err := smokeUpload(base, m, http.StatusOK); err != nil {
+			return 1, fmt.Errorf("wave %d re-upload: %w", wave+1, err)
+		}
+		responses, err := smokeWave(base, fp, queries)
+		if err != nil {
+			return 1, fmt.Errorf("wave %d: %w", wave+1, err)
+		}
+		var batched int
+		for i, q := range queries {
+			resp := responses[i]
+			if !resp.BudgetOK {
+				return 1, fmt.Errorf("wave %d: %s: budget proof failed (total %g)", wave+1, q.formula, resp.Report.BudgetTotal)
+			}
+			if q.query {
+				if resp.Value == nil {
+					return 1, fmt.Errorf("wave %d: %s: no value", wave+1, q.formula)
+				}
+				if fmt.Sprintf("%x", *resp.Value) != fmt.Sprintf("%x", q.wantValue) {
+					return 1, fmt.Errorf("wave %d: %s: service value %v differs from one-shot checker %v",
+						wave+1, q.formula, *resp.Value, q.wantValue)
+				}
+			} else {
+				if resp.Holds == nil || *resp.Holds != q.wantHolds {
+					return 1, fmt.Errorf("wave %d: %s: service verdict %v, one-shot checker %v",
+						wave+1, q.formula, resp.Holds, q.wantHolds)
+				}
+				if resp.Satisfying == nil || *resp.Satisfying != q.wantSat {
+					return 1, fmt.Errorf("wave %d: %s: service Sat count %v, one-shot checker %d",
+						wave+1, q.formula, resp.Satisfying, q.wantSat)
+				}
+			}
+			if resp.Batched {
+				batched++
+			}
+			if wave == 1 && resp.Memo.Hits == 0 {
+				return 1, fmt.Errorf("wave 2: %s: memo reports zero hits", q.formula)
+			}
+			if resp.Memo.Misses > missesAfter[wave] {
+				missesAfter[wave] = resp.Memo.Misses
+			}
+		}
+		fmt.Fprintf(out, "smoke: wave %d: %d/%d responses OK (budget proofs pass, answers bitwise match one-shot), %d batched\n",
+			wave+1, len(queries), len(queries), batched)
+	}
+	if missesAfter[1] != missesAfter[0] {
+		return 1, fmt.Errorf("wave 2 added memo misses (%d -> %d): something was re-uniformised", missesAfter[0], missesAfter[1])
+	}
+
+	st := srv.Snapshot()
+	fmt.Fprintf(out, "smoke: second wave served from memo (misses flat at %d)\n", missesAfter[1])
+	fmt.Fprintf(out, "smoke: %d requests, %d batches fired, largest batch %d\n", st.Requests, st.Batches, st.MaxBatch)
+	fmt.Fprintln(out, "smoke: PASS")
+	return 0, nil
+}
+
+// smokeQueries builds the 8-query mix and computes each expected answer
+// with a fresh one-shot checker — the direct-API equivalent of running
+// csrlcheck once per formula.
+func smokeQueries(m *mrm.MRM, opts core.Options) ([]smokeQuery, error) {
+	queries := []smokeQuery{
+		// Four batchable doubly-bounded until queries sharing a skeleton:
+		// the admission layer should coalesce these.
+		{formula: "P=? [ (call_idle | doze) U{t<=24, r<=150} call_initiated ]", query: true},
+		{formula: "P=? [ (call_idle | doze) U{t<=24, r<=300} call_initiated ]", query: true},
+		{formula: "P=? [ (call_idle | doze) U{t<=24, r<=450} call_initiated ]", query: true},
+		{formula: "P=? [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]", query: true},
+		// Bounded variant of the same shape (batchable, different duty).
+		{formula: "P>=0.001 [ (call_idle | doze) U{t<=24, r<=600} call_initiated ]"},
+		// Time-only until query (direct path).
+		{formula: "P=? [ !call_incoming U{t<=12} call_incoming ]", query: true},
+		// Steady-state query (direct path).
+		{formula: "S=? [ doze ]", query: true},
+		// Boolean (charges nothing; its ledger must stay empty).
+		{formula: "call_idle | call_incoming"},
+	}
+	for i := range queries {
+		checker := core.New(m, opts)
+		f, err := logic.Parse(queries[i].formula)
+		if err != nil {
+			return nil, err
+		}
+		if queries[i].query {
+			vals, err := checker.Values(f)
+			if err != nil {
+				return nil, err
+			}
+			for s, alpha := range m.InitView() {
+				queries[i].wantValue += alpha * vals[s]
+			}
+		} else {
+			holds, err := checker.Check(f)
+			if err != nil {
+				return nil, err
+			}
+			sat, err := checker.Sat(f)
+			if err != nil {
+				return nil, err
+			}
+			queries[i].wantHolds = holds
+			queries[i].wantSat = sat.Len()
+		}
+	}
+	return queries, nil
+}
+
+// smokeWave fires all queries concurrently and collects the decoded
+// responses in query order.
+func smokeWave(base, fp string, queries []smokeQuery) ([]service.CheckResponse, error) {
+	responses := make([]service.CheckResponse, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		//lint:ignore goroutinemisuse the smoke exists to exercise concurrent HTTP clients; parallel.For would serialise under Workers=1 and defeat the point
+		go func(i int, formula string) {
+			defer wg.Done()
+			body, _ := json.Marshal(service.CheckRequest{Model: fp, Formula: formula})
+			resp, err := http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				errs[i] = fmt.Errorf("%s: status %d: %s", formula, resp.StatusCode, msg)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&responses[i])
+		}(i, q.formula)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return responses, nil
+}
+
+// smokeUpload POSTs the model and asserts the expected status (201 on
+// first upload, 200 when the fingerprint already exists).
+func smokeUpload(base string, m *mrm.MRM, wantStatus int) (string, error) {
+	var buf bytes.Buffer
+	if err := modelfile.Encode(&buf, m); err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/v1/models", "application/json", &buf)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("status %d, want %d: %s", resp.StatusCode, wantStatus, msg)
+	}
+	var info service.ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", err
+	}
+	return info.Fingerprint, nil
+}

@@ -105,7 +105,11 @@ func timeBest(runs int, fn func() error) (time.Duration, error) {
 // down/not-down sets.
 func scaleInstance(n int) (*mrm.MRM, time.Duration, error) {
 	start := time.Now()
-	m, err := cluster.Default(n).Build()
+	p, err := cluster.Default(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := p.Build()
 	if err != nil {
 		return nil, 0, err
 	}

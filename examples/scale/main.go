@@ -34,7 +34,10 @@ func run() error {
 	dense := flag.Bool("dense", false, "also run the dense untruncated check for contrast")
 	flag.Parse()
 
-	p := cluster.Default(*n)
+	p, err := cluster.Default(*n)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	m, err := p.Build()
 	if err != nil {

@@ -40,7 +40,13 @@ type Params struct {
 // Default returns the reference parameterisation for n workstations per
 // side: rare workstation faults against a fast repair unit, and a much
 // rarer backbone fault, keeping the transient mass near the all-up corner.
-func Default(n int) Params {
+// n must be at least 1: a non-positive side has no workstation to fail and
+// the family degenerates, so the guard sits here — at the constructor every
+// user-supplied N flows through — as well as in Build.
+func Default(n int) (Params, error) {
+	if n < 1 {
+		return Params{}, fmt.Errorf("cluster: need at least one workstation per side, got N=%d", n)
+	}
 	return Params{
 		N:          n,
 		WorkFail:   0.005,
@@ -48,7 +54,7 @@ func Default(n int) Params {
 		BackFail:   0.0002,
 		BackRepair: 2.0,
 		NoNames:    n > 40,
-	}
+	}, nil
 }
 
 // States returns the reachable-marking count of the instance: both sides

@@ -9,7 +9,10 @@ import (
 // form 2·(N+1)² for several instances, including the scale reference.
 func TestStatesFormula(t *testing.T) {
 	for _, n := range []int{1, 2, 5, 12} {
-		p := Default(n)
+		p, err := Default(n)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
 		m, err := p.Build()
 		if err != nil {
 			t.Fatalf("N=%d: %v", n, err)
@@ -18,7 +21,11 @@ func TestStatesFormula(t *testing.T) {
 			t.Errorf("N=%d: %d reachable markings, closed form says %d", n, m.N(), p.States())
 		}
 	}
-	if got := Default(224).States(); got != 101250 {
+	big, err := Default(224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := big.States(); got != 101250 {
 		t.Errorf("N=224 closed form %d, want 101250", got)
 	}
 }
@@ -28,7 +35,11 @@ func TestStatesFormula(t *testing.T) {
 // the full (side×side×backbone) grid have closed forms.
 func TestLabelPartition(t *testing.T) {
 	const n = 4
-	m, err := Default(n).Build()
+	p, err := Default(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +74,11 @@ func TestLabelPartition(t *testing.T) {
 // the named small instance: the reward of a state is the number of broken
 // workstations encoded in its marking name.
 func TestRewardCountsBrokenStations(t *testing.T) {
-	m, err := Default(2).Build()
+	p, err := Default(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +99,19 @@ func TestRewardCountsBrokenStations(t *testing.T) {
 // TestNoNamesAtScaleDefault checks the Default knee: big instances skip
 // the per-state name strings, small ones keep them for readable output.
 func TestNoNamesAtScaleDefault(t *testing.T) {
-	if Default(40).NoNames || !Default(41).NoNames {
-		t.Errorf("NoNames knee should sit at N=40: got %v/%v",
-			Default(40).NoNames, Default(41).NoNames)
+	p40, err40 := Default(40)
+	p41, err41 := Default(41)
+	if err40 != nil || err41 != nil {
+		t.Fatal(err40, err41)
 	}
-	m, err := Default(2).Build()
+	if p40.NoNames || !p41.NoNames {
+		t.Errorf("NoNames knee should sit at N=40: got %v/%v", p40.NoNames, p41.NoNames)
+	}
+	p2, err := Default(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p2.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,9 +128,22 @@ func TestBuildRejectsBadParams(t *testing.T) {
 		}
 	}
 	// A MaxStates cap below the reachable count must surface as an error.
-	p := Default(3)
+	p, err := Default(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p.MaxStates = 5
 	if _, err := p.Build(); err == nil {
 		t.Errorf("MaxStates below the reachable count accepted")
+	}
+}
+
+// TestDefaultRejectsNonPositiveN covers the constructor guard: N <= 0 must
+// fail at Default itself, before any caller reaches Build.
+func TestDefaultRejectsNonPositiveN(t *testing.T) {
+	for _, n := range []int{0, -1, -224} {
+		if _, err := Default(n); err == nil {
+			t.Errorf("Default(%d) accepted", n)
+		}
 	}
 }

@@ -120,6 +120,12 @@ type Options struct {
 	// Lump controls the automatic formula-dependent lumping pre-pass of
 	// the exported entry points (see LumpMode). The zero value is on.
 	Lump LumpMode
+	// MemoCap bounds each of the checker memo's tables (reductions,
+	// uniformised matrices, Fox–Glynn tables, lump outcomes); the coldest
+	// entry is evicted when a table fills. 0 means the CLI-sized default
+	// (64 per table); a long-running checker service raises it to keep the
+	// hot tables of many recurring queries resident.
+	MemoCap int
 	// Truncate, when positive, enables state-drop truncation in the
 	// forward uniformisation sweeps (see transient.Options.Truncate) and
 	// unlocks the initial-state fast path of Check for top-level
@@ -157,6 +163,20 @@ func DefaultOptions() Options {
 var ErrUnsupported = errors.New("core: no computational procedure for this formula")
 
 // Checker model-checks CSRL formulas over a fixed MRM.
+//
+// Concurrency contract: a Checker is safe for concurrent use by multiple
+// goroutines. The model is immutable, the memo and the vector pool are
+// mutex-guarded, and Options.Obs (when set) is itself race-clean. Results
+// are deterministic under concurrency: every cached intermediate (reduction,
+// uniformised matrix, Fox–Glynn table, lump quotient) is a pure function of
+// its key, so concurrent callers observing a cached versus freshly computed
+// entry get bitwise-identical numbers either way. The one shared-state
+// caveat is the recorder: Options.Obs is one ledger for every call through
+// this checker value, so concurrent requests that each need their own error
+// budget proof must run through per-request WithRecorder views — a shared
+// recorder would merge their charges and falsify the per-request Σ ≤ ε
+// claim. NumericsReport and Reset on a shared recorder are likewise
+// whole-checker, not per-call, operations.
 type Checker struct {
 	m    *mrm.MRM
 	opts Options
@@ -184,11 +204,36 @@ func New(m *mrm.MRM, opts Options) *Checker {
 	if opts.ErlangK <= 0 {
 		opts.ErlangK = 256
 	}
-	return &Checker{m: m, opts: opts, memo: newMemo(), pool: sparse.NewVecPool()}
+	return &Checker{m: m, opts: opts, memo: newMemo(opts.MemoCap), pool: sparse.NewVecPool()}
 }
 
 // Model returns the checker's model.
 func (c *Checker) Model() *mrm.MRM { return c.m }
+
+// Epsilon returns the configured accuracy the checker's procedures are
+// held to (the ε of the error-budget proof).
+func (c *Checker) Epsilon() float64 { return c.opts.Epsilon }
+
+// WithRecorder returns a view of the checker that records its numerics
+// signals to r while sharing the model, memo and vector pool with the
+// receiver. This is the per-request handle of a concurrent checker
+// service: every request gets its own recorder — hence its own error
+// ledger and budget proof — while the expensive cross-request state
+// (uniformised matrices, Fox–Glynn tables, lump quotients, scratch
+// buffers) stays shared. The receiver is not modified. r may be nil to
+// obtain an unobserved view.
+func (c *Checker) WithRecorder(r *obs.Recorder) *Checker {
+	cc := *c
+	cc.opts.Obs = r
+	return &cc
+}
+
+// MemoStats snapshots the checker memo's cumulative hit/miss/eviction
+// traffic and live entry count — the cross-request cache-health surface.
+// Lump-quotient sub-checkers carry their own memos; their traffic is not
+// folded in here, but the lump table's own hits (one per request that
+// reuses a quotient) are.
+func (c *Checker) MemoStats() MemoStats { return c.memo.stats() }
 
 // NumericsReport folds the memo and pool statistics into the configured
 // recorder and returns the aggregate numerics report: the merged
@@ -200,9 +245,11 @@ func (c *Checker) NumericsReport() *obs.Report {
 	if r == nil {
 		return nil
 	}
-	hits, misses := c.memo.stats()
-	r.Gauge("memo.hits").Set(float64(hits))
-	r.Gauge("memo.misses").Set(float64(misses))
+	ms := c.memo.stats()
+	r.Gauge("memo.hits").Set(float64(ms.Hits))
+	r.Gauge("memo.misses").Set(float64(ms.Misses))
+	r.Gauge("memo.evictions").Set(float64(ms.Evictions))
+	r.Gauge("memo.entries").Set(float64(ms.Entries))
 	ps := c.pool.Stats()
 	r.Gauge("pool.gets").Set(float64(ps.Gets))
 	r.Gauge("pool.reuses").Set(float64(ps.Reuses))
@@ -369,18 +416,8 @@ func (c *Checker) check(f logic.StateFormula) (bool, error) {
 // ok reports whether the fast path applied; when false, the caller falls
 // back to the satisfaction-set route.
 func (c *Checker) checkInitFast(f logic.StateFormula) (holds, ok bool, err error) {
-	if c.opts.Truncate <= 0 {
-		return false, false, nil
-	}
-	p, isProb := f.(logic.Prob)
-	if !isProb || p.Query {
-		return false, false, nil
-	}
-	u, isUntil := p.Path.(logic.Until)
-	if !isUntil || !u.Time.Valid() || !u.Reward.Valid() {
-		return false, false, nil
-	}
-	if u.Time.IsUnbounded() || !u.Time.StartsAtZero() || !u.Reward.IsUnbounded() {
+	p, u, ok := c.initFastShape(f)
+	if !ok || p.Query {
 		return false, false, nil
 	}
 	phi, err := c.sat(u.Left)
@@ -407,6 +444,80 @@ func (c *Checker) checkInitFast(f logic.StateFormula) (holds, ok bool, err error
 		}
 	}
 	return true, true, nil
+}
+
+// initFastShape reports whether f is eligible for the truncated forward
+// fast paths (checkInitFast, QueryInitial): truncation must be on and f a
+// top-level P-formula over a time-bounded, reward-unbounded until whose
+// time interval starts at zero — the shape TimeBoundedUntilFrom computes
+// by forward sweeps over the active window.
+func (c *Checker) initFastShape(f logic.StateFormula) (logic.Prob, logic.Until, bool) {
+	if c.opts.Truncate <= 0 {
+		return logic.Prob{}, logic.Until{}, false
+	}
+	p, isProb := f.(logic.Prob)
+	if !isProb {
+		return logic.Prob{}, logic.Until{}, false
+	}
+	u, isUntil := p.Path.(logic.Until)
+	if !isUntil || !u.Time.Valid() || !u.Reward.Valid() {
+		return logic.Prob{}, logic.Until{}, false
+	}
+	if u.Time.IsUnbounded() || !u.Time.StartsAtZero() || !u.Reward.IsUnbounded() {
+		return logic.Prob{}, logic.Until{}, false
+	}
+	return p, u, true
+}
+
+// QueryInitial evaluates the numeric value of a P-formula from the initial
+// distribution alone: Σ_s α(s)·Pr_s(φ), the quantity a P=? query reports
+// for the initial state(s). When the truncated forward fast path applies
+// (see initFastShape) the value comes from one TimeBoundedUntilFrom sweep
+// per positive-mass initial state — cost proportional to the truncation
+// window, not to the state count — instead of the dense all-states Values
+// computation. ok reports whether the fast path applied; when false the
+// caller falls back to Values (and should say so, since the fallback
+// defeats the point of truncation).
+func (c *Checker) QueryInitial(f logic.StateFormula) (val float64, ok bool, err error) {
+	q, _, err := c.lumpFor(logic.Atoms(f))
+	if err != nil {
+		return 0, false, err
+	}
+	return q.queryInitial(f)
+}
+
+// queryInitial is the body of QueryInitial on this checker's own model.
+// No lift-back is needed: the quotient's initial distribution carries each
+// block's aggregated mass and every state of a block shares its value, so
+// the α-weighted sum agrees with the full model's.
+func (c *Checker) queryInitial(f logic.StateFormula) (float64, bool, error) {
+	p, u, ok := c.initFastShape(f)
+	if !ok {
+		return 0, false, nil
+	}
+	phi, err := c.sat(u.Left)
+	if err != nil {
+		return 0, false, err
+	}
+	psi, err := c.sat(u.Right)
+	if err != nil {
+		return 0, false, err
+	}
+	var total float64
+	for s, alpha := range c.m.InitView() {
+		if alpha <= 0 {
+			continue
+		}
+		pr, err := transient.TimeBoundedUntilFrom(c.m, phi, psi, s, u.Time.Hi, c.transientOpts())
+		if err != nil {
+			return 0, false, err
+		}
+		if p.Complement {
+			pr = 1 - pr
+		}
+		total += alpha * pr
+	}
+	return total, true, nil
 }
 
 // Values returns the per-state numeric value behind a probabilistic or
@@ -466,6 +577,53 @@ func (c *Checker) PathProb(f logic.PathFormula) ([]float64, error) {
 		return nil, err
 	}
 	return q.liftOut(lr, vals), nil
+}
+
+// UntilProbBatch computes Pr_s(Φ U^{[0,t]}_{[0,r_i]} Ψ) for every state s
+// and a batch of reward bounds r_i sharing one time bound t. One Theorem 1
+// reduction serves the whole batch, and with the Sericola procedure every
+// bound advances through a single recursion over the memoised uniformised
+// matrix (untilTimeRewardBatch) — one matrix sweep for the lot instead of
+// one per bound. This is the admission surface a concurrent checker
+// service coalesces same-model queries onto: requests that differ only in
+// their reward bound ride one numerical computation. results[i] is
+// bitwise-identical to PathProb of the corresponding single until. The
+// lumping pre-pass applies as in Sat, and each returned slice is a plain
+// caller-owned allocation.
+func (c *Checker) UntilProbBatch(left, right logic.StateFormula, t float64, rs []float64) ([][]float64, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("core: until batch: no reward bounds")
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("core: until batch: invalid time bound %v", t)
+	}
+	for _, r := range rs {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("core: until batch: invalid reward bound %v", r)
+		}
+	}
+	atoms := append(logic.Atoms(left), logic.Atoms(right)...)
+	q, lr, err := c.lumpFor(atoms)
+	if err != nil {
+		return nil, err
+	}
+	phi, err := q.sat(left)
+	if err != nil {
+		return nil, err
+	}
+	psi, err := q.sat(right)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := q.untilTimeRewardBatch(phi, psi, t, rs)
+	if err != nil {
+		return nil, err
+	}
+	lifted := make([][]float64, len(outs))
+	for i, v := range outs {
+		lifted[i] = q.liftOut(lr, v)
+	}
+	return lifted, nil
 }
 
 // pathProb is the body of PathProb on this checker's own model. The
@@ -538,7 +696,13 @@ func (c *Checker) lumpFor(atoms []string) (*Checker, *lump.Result, error) {
 	if entry == nil || entry.sub == nil {
 		return c, nil, nil
 	}
-	return entry.sub, entry.res, nil
+	// The cached sub-checker is recorder-free (see lumpEntry); graft this
+	// call's recorder onto a view so concurrent requests sharing the
+	// quotient still charge disjoint ledgers.
+	if c.opts.Obs == nil {
+		return entry.sub, entry.res, nil
+	}
+	return entry.sub.WithRecorder(c.opts.Obs), entry.res, nil
 }
 
 // buildLump computes one pre-pass outcome: the capped quotient and its
@@ -566,10 +730,16 @@ func (c *Checker) buildLump(atoms []string) *lumpEntry {
 		}
 		return &lumpEntry{}
 	}
-	sub := New(res.Model, c.opts)
+	subOpts := c.opts
+	// The cached entry outlives this request: a baked-in recorder would
+	// funnel every later request's charges into the builder's ledger, so
+	// the sub-checker is stored recorder-free and lumpFor grafts the
+	// caller's recorder on per use.
+	subOpts.Obs = nil
 	// The quotient is already coarsest for these atoms; re-lumping inside
 	// the sub-checker could only waste a refinement pass.
-	sub.opts.Lump = LumpOff
+	subOpts.Lump = LumpOff
+	sub := New(res.Model, subOpts)
 	return &lumpEntry{res: res, sub: sub}
 }
 
@@ -785,7 +955,7 @@ func (c *Checker) untilTimeInterval(phi, psi *mrm.StateSet, iv logic.Interval) (
 // backward sweep of duration t1 on M[¬Φ absorbing] with terminal weights
 // tail masked to Φ-states.
 func (c *Checker) phaseOne(phi *mrm.StateSet, tail []float64, t1 float64) ([]float64, error) {
-	restricted, err := c.m.MakeAbsorbing(phi.Complement(), false)
+	restricted, err := c.memo.Absorbing(c.m, phi.Complement(), false)
 	if err != nil {
 		return nil, err
 	}

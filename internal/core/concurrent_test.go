@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/performability/csrl/internal/cluster"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/obs"
+)
+
+// concOp is one operation of the concurrency workload: it runs a formula
+// through one of the checker entry points and folds the outcome into a
+// comparable string so sequential and concurrent runs can be diffed
+// bitwise (%x prints the exact float bits via the hex float verb).
+type concOp struct {
+	name    string
+	formula string
+	run     func(c *Checker, f logic.StateFormula) (string, error)
+	// charges reports whether the op is expected to put provable error
+	// terms on its request ledger (numerical procedures do; pure set
+	// algebra must not).
+	charges bool
+}
+
+func concOps() []concOp {
+	values := func(c *Checker, f logic.StateFormula) (string, error) {
+		vals, err := c.Values(f)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%x", vals), nil
+	}
+	sat := func(c *Checker, f logic.StateFormula) (string, error) {
+		set, err := c.Sat(f)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%q", set.Key()), nil
+	}
+	check := func(c *Checker, f logic.StateFormula) (string, error) {
+		holds, err := c.Check(f)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%v", holds), nil
+	}
+	return []concOp{
+		{"values/p3", "P=? [ !down U{t<=10, r<=5} down ]", values, true},
+		{"values/p1", "P=? [ !down U{t<=10} down ]", values, true},
+		{"check/truncated", "P<=0.5 [ !down U{t<=10} down ]", check, true},
+		{"sat/p3", "P<=0.021 [ !down U{t<=24, r<=12} down ]", sat, true},
+		{"sat/boolean", "pristine & !down", sat, false},
+		{"check/boolean", "qos | degraded | !degraded", check, false},
+		// The steady-state solver converges to tolerance rather than
+		// truncating mass, so it puts nothing on the provable ledger.
+		{"values/steady", "S>=0.9 [ pristine ]", values, false},
+	}
+}
+
+// TestCheckerConcurrentHammer is the service-readiness race test: N
+// goroutines hammer ONE shared Checker with a mix of Sat, Check and Values
+// calls — lumping pre-pass on, truncation on — each call under its own
+// per-request recorder. It asserts (run it with -race):
+//
+//   - every concurrent result is bitwise-identical to the sequential
+//     baseline computed on an identically configured private checker;
+//   - every request's ledger proves its own Σ charges ≤ ε;
+//   - ledgers are disjoint per request: an op with no numerical work sees
+//     an EMPTY budget even while neighbours charge theirs, and every
+//     numerical op's budget total equals the baseline total for that op
+//     alone (a shared/merged ledger would accumulate across requests).
+func TestCheckerConcurrentHammer(t *testing.T) {
+	m, err := cluster.Params{N: 3, WorkFail: 0.1, WorkRepair: 1.5, BackFail: 0.05, BackRepair: 2.0}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Epsilon = 1e-8
+	opts.Truncate = 1e-12
+	// Lump stays at the default (on).
+
+	ops := concOps()
+	formulas := make([]logic.StateFormula, len(ops))
+	for i, op := range ops {
+		formulas[i] = logic.MustParse(op.formula)
+	}
+
+	// Sequential baseline on a private checker over the same model value.
+	baseline := make([]string, len(ops))
+	baseBudget := make([]float64, len(ops))
+	seq := New(m, opts)
+	for i, op := range ops {
+		rec := obs.New()
+		got, err := seq.WithRecorder(rec).run(op, formulas[i])
+		if err != nil {
+			t.Fatalf("sequential %s: %v", op.name, err)
+		}
+		baseline[i] = got
+		rep := rec.Report(opts.Epsilon)
+		if !rep.BudgetOK {
+			t.Fatalf("sequential %s: budget %g exceeds epsilon %g", op.name, rep.BudgetTotal, opts.Epsilon)
+		}
+		if op.charges != (len(rep.Budget) > 0) {
+			t.Fatalf("sequential %s: charges=%v but ledger has %d rows", op.name, op.charges, len(rep.Budget))
+		}
+		baseBudget[i] = rep.BudgetTotal
+	}
+
+	const (
+		goroutines = 8
+		rounds     = 4
+	)
+	shared := New(m, opts)
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*rounds*len(ops))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i := range ops {
+					// Rotate the starting op per goroutine so distinct ops
+					// genuinely overlap in time.
+					i := (i + g) % len(ops)
+					op := ops[i]
+					rec := obs.New()
+					got, err := shared.WithRecorder(rec).run(op, formulas[i])
+					if err != nil {
+						errCh <- fmt.Errorf("g%d %s: %v", g, op.name, err)
+						return
+					}
+					if got != baseline[i] {
+						errCh <- fmt.Errorf("g%d %s: concurrent result diverged from sequential baseline", g, op.name)
+						return
+					}
+					rep := rec.Report(opts.Epsilon)
+					if !rep.BudgetOK {
+						errCh <- fmt.Errorf("g%d %s: per-request budget %g exceeds epsilon", g, op.name, rep.BudgetTotal)
+						return
+					}
+					if !op.charges && len(rep.Budget) > 0 {
+						errCh <- fmt.Errorf("g%d %s: boolean op inherited %d foreign charges — ledgers are not disjoint", g, op.name, len(rep.Budget))
+						return
+					}
+					if rep.BudgetTotal != baseBudget[i] {
+						errCh <- fmt.Errorf("g%d %s: per-request budget %g != sequential %g — ledger merged across requests", g, op.name, rep.BudgetTotal, baseBudget[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := shared.MemoStats()
+	if st.Hits == 0 {
+		t.Error("shared checker saw no memo hits across the hammer — cross-request reuse is not happening")
+	}
+}
+
+// run executes the op through a checker view.
+func (c *Checker) run(op concOp, f logic.StateFormula) (string, error) {
+	return op.run(c, f)
+}
+
+// TestUntilProbBatchMatchesSingles pins the admission-layer contract: a
+// batch over several reward bounds is bitwise-identical, column by column,
+// to the individual PathProb evaluations it coalesces.
+func TestUntilProbBatchMatchesSingles(t *testing.T) {
+	m, err := cluster.Params{N: 2, WorkFail: 0.2, WorkRepair: 1.0, BackFail: 0.05, BackRepair: 1.0}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultOptions())
+	left := logic.MustParse("!down")
+	right := logic.MustParse("down")
+	tBound := 8.0
+	rs := []float64{2, 5, 9}
+	batch, err := c.UntilProbBatch(left, right, tBound, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		f := logic.Until{Time: logic.UpTo(tBound), Reward: logic.UpTo(r), Left: left, Right: right}
+		want, err := New(m, DefaultOptions()).PathProb(f)
+		if err != nil {
+			t.Fatalf("single r=%g: %v", r, err)
+		}
+		for s := range want {
+			if batch[i][s] != want[s] {
+				t.Fatalf("r=%g state %d: batch %g != single %g", r, s, batch[i][s], want[s])
+			}
+		}
+	}
+	if _, err := c.UntilProbBatch(left, right, tBound, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}

@@ -70,7 +70,7 @@ func TestDiscretiseNonDyadicEndToEnd(t *testing.T) {
 
 func TestMemoConcurrentAccess(t *testing.T) {
 	m := tinyModel(t)
-	memo := newMemo()
+	memo := newMemo(0)
 	phi := mrm.NewStateSetOf(3, 0, 1)
 	psi := mrm.NewStateSetOf(3, 2)
 	var wg sync.WaitGroup
@@ -137,10 +137,10 @@ func TestMemoReusedAcrossCornerEvaluations(t *testing.T) {
 			t.Errorf("state %d: cached %g != uncached %g", s, got[s], want[s])
 		}
 	}
-	if len(cached.memo.reductions) == 0 {
+	if cached.memo.reductions.len() == 0 {
 		t.Error("memo saw no reductions; cache is not wired in")
 	}
-	if len(cached.memo.uniformised) == 0 {
+	if cached.memo.uniformised.len() == 0 {
 		t.Error("memo saw no uniformised matrices; cache is not wired in")
 	}
 }

@@ -1,0 +1,100 @@
+package mrm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"github.com/performability/csrl/internal/sparse"
+)
+
+// fingerprintVersion is folded into every fingerprint so a change to the
+// serialisation below can never collide with hashes minted by an earlier
+// scheme.
+const fingerprintVersion = "csrl-mrm-fp-v1"
+
+// Fingerprint returns a stable content hash of the model: the hex-encoded
+// sha256 over the CSR rate structure, the reward and initial-distribution
+// vectors, the impulse matrix, the label sets and the state names. Two
+// models built from the same description — in particular the same model
+// file decoded twice, or re-uploaded to a checker service — have equal
+// fingerprints, while any semantic difference (a rate, a reward, a label
+// membership, the initial mass) changes the hash.
+//
+// This is the cross-process complement of the pointer-keyed memo keys
+// inside the checker: pointer identity is free and exact within one
+// process, but does not survive re-parsing the same model, so long-lived
+// registries key their entries by Fingerprint instead.
+//
+// Everything serialised is in canonical order (CSR rows are sorted by
+// column at Build, labels are sorted by name, set members enumerate in
+// increasing state order), so the hash is independent of builder call
+// order. Float values hash by their IEEE-754 bit pattern: fingerprint
+// equality means bitwise-equal numerics, which is the equality the
+// bitwise-reproducibility tests hold the procedures to.
+func (m *MRM) Fingerprint() string {
+	// hash.Hash.Write never returns an error (documented contract), so
+	// every write below discards the return values explicitly.
+	h := sha256.New()
+	_, _ = h.Write([]byte(fingerprintVersion))
+	writeUint64(h, uint64(m.n))
+
+	writeCSR(h, m.rates)
+	writeFloats(h, m.reward)
+	writeFloats(h, m.init)
+
+	labels := m.Labels() // sorted
+	writeUint64(h, uint64(len(labels)))
+	for _, a := range labels {
+		writeString(h, a)
+		set := m.labels[a]
+		writeUint64(h, uint64(set.Len()))
+		set.Each(func(s int) { writeUint64(h, uint64(s)) })
+	}
+
+	if m.impulses != nil {
+		_, _ = h.Write([]byte{1})
+		writeCSR(h, m.impulses)
+	} else {
+		_, _ = h.Write([]byte{0})
+	}
+
+	for s := 0; s < m.n; s++ {
+		writeString(h, m.Name(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCSR serialises a sparse matrix row by row; Row enumerates entries
+// in increasing column order, the canonical form Build establishes.
+func writeCSR(h hash.Hash, c *sparse.CSR) {
+	n := c.Dim()
+	writeUint64(h, uint64(n))
+	for i := 0; i < n; i++ {
+		c.Row(i, func(j int, v float64) {
+			writeUint64(h, uint64(j))
+			writeUint64(h, math.Float64bits(v))
+		})
+		writeUint64(h, ^uint64(0)) // row terminator
+	}
+}
+
+func writeFloats(h hash.Hash, vs []float64) {
+	writeUint64(h, uint64(len(vs)))
+	for _, v := range vs {
+		writeUint64(h, math.Float64bits(v))
+	}
+}
+
+func writeString(h hash.Hash, s string) {
+	writeUint64(h, uint64(len(s)))
+	_, _ = h.Write([]byte(s))
+}
+
+func writeUint64(h hash.Hash, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, _ = h.Write(b[:])
+}

@@ -57,6 +57,20 @@ func (k Kind) String() string {
 // MarshalText makes Kind render as its name in JSON reports.
 func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
+// UnmarshalText parses the name back, so reports round-trip through JSON
+// (service clients decode the same Report the server encoded).
+func (k *Kind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "bounded":
+		*k = Bounded
+	case "indicative":
+		*k = Indicative
+	default:
+		return fmt.Errorf("obs: unknown charge kind %q", b)
+	}
+	return nil
+}
+
 // Charge is one named error contribution in the ledger.
 type Charge struct {
 	// Component is the procedure or kernel that produced the error

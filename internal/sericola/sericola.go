@@ -45,6 +45,10 @@ type Cache interface {
 	// the ledger the two tail charges.
 	//numerics:truncates foxglynn/left-tail foxglynn/right-tail
 	Poisson(q, eps float64) (*numeric.PoissonWeights, error)
+	// Absorbing mirrors transient.Cache.Absorbing; the Sericola recursion
+	// itself never derives absorbing models, but keeping the method sets
+	// identical lets one Cache value flow into the transient fallbacks.
+	Absorbing(m *mrm.MRM, set *mrm.StateSet, zeroReward bool) (*mrm.MRM, error)
 }
 
 // Options configures the computation.

@@ -1,0 +1,183 @@
+// Batched admission: concurrent queries against the same model that share
+// an until shape — same Φ, Ψ and time bound, differing only in the reward
+// bound — are coalesced onto one Checker.UntilProbBatch call. The batch
+// kernels (PR 7) evaluate g reward columns through one Sericola recursion
+// over the memoised uniformised matrix, bitwise-identically to g separate
+// runs, so coalescing changes latency and cost but never answers.
+//
+// The mechanism is a short admission window: the first query of a group
+// opens it, companions arriving within it join, and when the timer fires
+// the whole group is computed once and every member receives its own
+// column. Requests whose formula shape the batch kernels don't cover
+// bypass admission entirely.
+
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/performability/csrl/internal/core"
+	"github.com/performability/csrl/internal/logic"
+	"github.com/performability/csrl/internal/obs"
+)
+
+// groupKey identifies queries that may share one batch: same bounded-until
+// skeleton up to the reward bound. The formulas are keyed by their
+// canonical String() rendering — the parser and printer round-trip, so
+// syntactically different spellings of the same subformula coalesce iff
+// they print the same.
+type groupKey struct {
+	left, right string
+	t           float64
+}
+
+// pending is one admitted query waiting for its group to fire.
+type pending struct {
+	r  float64
+	ch chan batchResult
+}
+
+// batchResult is what one group member receives: its own copy of the
+// per-state probability column, the group's shared numerics report, and
+// the group size.
+type batchResult struct {
+	vals   []float64
+	report *obs.Report
+	size   int
+	err    error
+}
+
+// batcher runs the admission window for one model's checker.
+type batcher struct {
+	checker *core.Checker
+	window  time.Duration
+
+	mu     sync.Mutex
+	groups map[groupKey]*group // guarded by mu
+
+	// stats, guarded by mu
+	batches   int64 // groups fired
+	coalesced int64 // members of groups with size >= 2
+	maxBatch  int64
+}
+
+// group is one open admission window.
+type group struct {
+	u       logic.Until // parsed formulas of the first member (all members agree up to String())
+	members []pending
+}
+
+func newBatcher(c *core.Checker, window time.Duration) *batcher {
+	return &batcher{checker: c, window: window, groups: make(map[groupKey]*group)}
+}
+
+// admit submits one eligible query and blocks until its batch fires,
+// returning the member's own column of until probabilities (the P
+// operator's bound/complement are the caller's to apply). With batching
+// disabled (negative window) the query runs alone immediately.
+func (b *batcher) admit(p logic.Prob, u logic.Until) (batchResult, error) {
+	if b.window < 0 {
+		return b.fire(u, []pending{{r: u.Reward.Hi}})[0], nil
+	}
+	key := groupKey{left: u.Left.String(), right: u.Right.String(), t: u.Time.Hi}
+	ch := make(chan batchResult, 1)
+
+	b.mu.Lock()
+	g, open := b.groups[key]
+	if !open {
+		g = &group{u: u}
+		b.groups[key] = g
+		// The window timer closes the group; members joining after close
+		// start a fresh one.
+		time.AfterFunc(b.window, func() { b.close(key) })
+	}
+	g.members = append(g.members, pending{r: u.Reward.Hi, ch: ch})
+	b.mu.Unlock()
+
+	res := <-ch
+	return res, res.err
+}
+
+// close detaches the group and fires it. Runs on the timer goroutine, so
+// a slow batch never blocks admission of the next window.
+func (b *batcher) close(key groupKey) {
+	b.mu.Lock()
+	g := b.groups[key]
+	delete(b.groups, key)
+	b.mu.Unlock()
+	if g == nil {
+		return
+	}
+	results := b.fire(g.u, g.members)
+	for i, m := range g.members {
+		m.ch <- results[i]
+	}
+}
+
+// fire evaluates one group: deduplicate the reward bounds, run the batch
+// under a recorder shared by the group (the members share the computation,
+// so they share its ledger — each gets a pointer to the one report), and
+// hand every member a private copy of its column.
+func (b *batcher) fire(u logic.Until, members []pending) []batchResult {
+	// Deduplicate and SORT the reward bounds: members arrive in scheduler
+	// order, and an order-dependent rs slice would give the same logical
+	// batch a different memo key on every wave — re-deriving work the
+	// cache already holds.
+	col := make(map[float64]int, len(members)) // reward bound -> batch column
+	for _, m := range members {
+		col[m.r] = 0
+	}
+	rs := make([]float64, 0, len(col))
+	for r := range col {
+		rs = append(rs, r)
+	}
+	sort.Float64s(rs)
+	for i, r := range rs {
+		col[r] = i
+	}
+
+	rec := obs.New()
+	view := b.checker.WithRecorder(rec)
+	out := make([]batchResult, len(members))
+	cols, err := view.UntilProbBatch(u.Left, u.Right, u.Time.Hi, rs)
+	if err != nil {
+		err = fmt.Errorf("batched until (%d members): %w", len(members), err)
+		for i := range out {
+			out[i] = batchResult{err: err}
+		}
+		return out
+	}
+	rep := view.NumericsReport()
+
+	for i, m := range members {
+		vals := make([]float64, len(cols[col[m.r]]))
+		copy(vals, cols[col[m.r]])
+		out[i] = batchResult{vals: vals, report: rep, size: len(members)}
+	}
+
+	b.mu.Lock()
+	b.batches++
+	n := int64(len(members))
+	if n > 1 {
+		b.coalesced += n
+	}
+	if n > b.maxBatch {
+		b.maxBatch = n
+	}
+	b.mu.Unlock()
+	return out
+}
+
+// batchStats is the batcher's contribution to /v1/stats.
+type batchStats struct {
+	batches, coalesced, maxBatch int64
+}
+
+func (b *batcher) snapshot() batchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return batchStats{batches: b.batches, coalesced: b.coalesced, maxBatch: b.maxBatch}
+}

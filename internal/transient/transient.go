@@ -30,6 +30,12 @@ type Cache interface {
 	// callers owe the ledger both tail charges.
 	//numerics:truncates foxglynn/left-tail foxglynn/right-tail
 	Poisson(q, eps float64) (*numeric.PoissonWeights, error)
+	// Absorbing returns the model with the given set made absorbing,
+	// deriving and retaining it on first use. Derived models are shared
+	// between callers and must be treated as immutable. Without this, the
+	// until procedures rebuild the restricted model per call and its fresh
+	// pointer defeats the Uniformised memo.
+	Absorbing(m *mrm.MRM, set *mrm.StateSet, zeroReward bool) (*mrm.MRM, error)
 }
 
 // SteadyMode controls steady-state detection in the uniformisation sweeps:
@@ -115,6 +121,15 @@ func (o Options) uniformised(m *mrm.MRM, lambda float64) (*sparse.CSR, error) {
 		return o.Cache.Uniformised(m, lambda)
 	}
 	return m.Uniformised(lambda)
+}
+
+// absorbing returns the model with set made absorbing, consulting the
+// cache when one is configured.
+func (o Options) absorbing(m *mrm.MRM, set *mrm.StateSet, zeroReward bool) (*mrm.MRM, error) {
+	if o.Cache != nil {
+		return o.Cache.Absorbing(m, set, zeroReward)
+	}
+	return m.MakeAbsorbing(set, zeroReward)
 }
 
 // budgetSplit divides Epsilon among the truncation error sources active in
@@ -352,7 +367,7 @@ func BackwardWeighted(m *mrm.MRM, v []float64, t float64, opts Options) ([]float
 //numerics:domain prob t=rate
 func TimeBoundedUntil(m *mrm.MRM, phi, psi *mrm.StateSet, t float64, opts Options) ([]float64, error) {
 	absorb := phi.Union(psi).Complement().Union(psi)
-	abs, err := m.MakeAbsorbing(absorb, false)
+	abs, err := opts.absorbing(m, absorb, false)
 	if err != nil {
 		return nil, fmt.Errorf("transient: until: %w", err)
 	}

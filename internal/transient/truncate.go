@@ -168,7 +168,7 @@ func TimeBoundedUntilFrom(m *mrm.MRM, phi, psi *mrm.StateSet, from int, t float6
 		return 0, fmt.Errorf("transient: until-from: state %d out of range [0,%d)", from, m.N())
 	}
 	absorb := phi.Union(psi).Complement().Union(psi)
-	abs, err := m.MakeAbsorbing(absorb, false)
+	abs, err := opts.absorbing(m, absorb, false)
 	if err != nil {
 		return 0, fmt.Errorf("transient: until-from: %w", err)
 	}
